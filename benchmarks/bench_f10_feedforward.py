@@ -1,0 +1,97 @@
+"""R-F10 — Feedforward load anticipation (the extension experiment).
+
+Pure-feedback vs feedback+feedforward on three surge shapes: a flash
+crowd (fast exponential rise), a steep ramp, and an instant step.
+Figure series: violation-seconds per surge shape for both controllers.
+Shape expected: anticipation roughly halves the violation burst on
+shapes with a visible rise (flash crowd, ramp) and is neutral on the
+instant step (nothing to anticipate — feedback is already slammed to its
+output rail by the time the loop runs).
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.cluster.resources import ResourceVector
+from repro.platform.config import ClusterSpec, PlatformConfig
+from repro.platform.evolve import EvolvePlatform
+from repro.workloads.microservice import ServiceDemands
+from repro.workloads.plo import LatencyPLO
+from repro.workloads.traces import (
+    CompositeTrace,
+    ConstantTrace,
+    FlashCrowdTrace,
+    RampTrace,
+    StepTrace,
+)
+
+SURGE_AT = 1800.0
+DURATION = 3600.0
+
+SURGES = {
+    "flash crowd": lambda: CompositeTrace([
+        ConstantTrace(60.0),
+        FlashCrowdTrace(start_time=SURGE_AT, peak_rate=400.0, rise=90.0,
+                        decay=1200.0),
+    ]),
+    "ramp (5 min)": lambda: RampTrace(SURGE_AT, SURGE_AT + 300.0, 60.0, 360.0),
+    "instant step": lambda: StepTrace([(0.0, 60.0), (SURGE_AT, 360.0)]),
+}
+
+
+def run_surge(trace_factory, feedforward: bool) -> float:
+    platform = EvolvePlatform(
+        cluster_spec=ClusterSpec(node_count=4),
+        config=PlatformConfig(seed=6),
+        policy="adaptive",
+        policy_kwargs={"horizontal": False, "feedforward": feedforward},
+    )
+    platform.deploy_microservice(
+        "svc",
+        trace=trace_factory(),
+        demands=ServiceDemands(cpu_seconds=0.01, base_latency=0.01),
+        allocation=ResourceVector(cpu=1, memory=1.5, disk_bw=20, net_bw=20),
+        plo=LatencyPLO(0.05, window=30),
+    )
+    platform.run(DURATION)
+    return platform.result().trackers["svc"].violation_seconds
+
+
+@pytest.mark.benchmark(group="f10-feedforward", min_rounds=1, max_time=1)
+def test_f10_feedforward(benchmark, report):
+    results = {}
+
+    def experiment():
+        for name, factory in SURGES.items():
+            for ff in (False, True):
+                key = (name, ff)
+                if key not in results:
+                    results[key] = run_surge(factory, ff)
+        return results
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for name in SURGES:
+        feedback = results[(name, False)]
+        both = results[(name, True)]
+        saved = 1 - both / feedback if feedback > 0 else 0.0
+        rows.append([
+            name, f"{feedback:.0f} s", f"{both:.0f} s", f"{saved:.0%}"
+        ])
+    report(
+        "",
+        "R-F10: violation-seconds per surge shape, feedback vs +feedforward",
+        format_table(
+            ["surge", "feedback only", "with feedforward", "saved"], rows
+        ),
+    )
+
+    benchmark.extra_info["flash_saving"] = (
+        1 - results[("flash crowd", True)] / results[("flash crowd", False)]
+    )
+    # Shape: anticipation wins where a rise is visible, never hurts.
+    assert results[("flash crowd", True)] < results[("flash crowd", False)]
+    assert results[("ramp (5 min)", True)] < results[("ramp (5 min)", False)]
+    for name in SURGES:
+        assert results[(name, True)] <= results[(name, False)] * 1.1

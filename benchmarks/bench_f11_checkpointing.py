@@ -1,0 +1,75 @@
+"""R-F11 — HPC checkpointing under failures.
+
+An HPC gang running under a chaos monkey, with checkpoint intervals from
+"none" (rank loss restarts the job) down to frequent. Figure series:
+completion makespan vs checkpoint interval. Shape expected: makespan
+falls steeply once any checkpointing exists and flattens — the classic
+checkpoint-interval curve — while the failure-free run is unaffected by
+the interval.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.cluster.resources import ResourceVector
+from repro.platform.config import ClusterSpec, PlatformConfig
+from repro.platform.evolve import EvolvePlatform
+
+JOB_DURATION = 1800.0
+INTERVALS = (None, 600.0, 150.0, 50.0)
+
+
+def run_job(checkpoint_interval, *, chaos: bool, seed: int = 77):
+    platform = EvolvePlatform(
+        cluster_spec=ClusterSpec(node_count=4),
+        config=PlatformConfig(seed=seed),
+    )
+    job = platform.submit_hpc(
+        "sim", ranks=3, duration=JOB_DURATION,
+        allocation=ResourceVector(cpu=6, memory=8, disk_bw=5, net_bw=80),
+        checkpoint_interval=checkpoint_interval,
+    )
+    if chaos:
+        platform.enable_chaos(mtbf=450.0, repair_time=120.0)
+    platform.run(10 * 3600.0)
+    return job.makespan(), job.rollbacks
+
+
+@pytest.mark.benchmark(group="f11-checkpointing", min_rounds=1, max_time=1)
+def test_f11_checkpointing(benchmark, report):
+    results = {}
+
+    def experiment():
+        for interval in INTERVALS:
+            if interval not in results:
+                results[interval] = run_job(interval, chaos=True)
+        if "calm" not in results:
+            results["calm"] = run_job(None, chaos=False)
+        return results
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for interval in INTERVALS:
+        makespan, rollbacks = results[interval]
+        label = "none (restart)" if interval is None else f"{interval:.0f} s"
+        rows.append([
+            label,
+            f"{makespan:.0f} s" if makespan else "never",
+            rollbacks,
+        ])
+    calm_makespan, _ = results["calm"]
+    report(
+        "",
+        f"R-F11: HPC makespan vs checkpoint interval under chaos "
+        f"(nominal {JOB_DURATION:.0f} s; failure-free run: {calm_makespan:.0f} s)",
+        format_table(["checkpoint interval", "makespan", "rollbacks"], rows),
+    )
+
+    none_makespan = results[None][0]
+    frequent_makespan = results[50.0][0]
+    assert none_makespan is not None and frequent_makespan is not None
+    benchmark.extra_info["saving"] = 1 - frequent_makespan / none_makespan
+    # Shape: checkpointing recovers most of the failure cost.
+    assert frequent_makespan < none_makespan
+    assert frequent_makespan < calm_makespan * 2.0

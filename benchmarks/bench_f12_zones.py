@@ -1,0 +1,80 @@
+"""R-F12 — Topology-aware gang placement across zones.
+
+A communication-heavy gang on a two-zone cluster, placed zone-aware vs
+zone-blind, across communication fractions. Figure series: makespan
+ratio (blind / aware) vs comm fraction. Shape expected: the penalty of
+spanning zones grows with the job's communication share; compute-bound
+gangs barely care.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.cluster.resources import ResourceVector
+from repro.platform.config import ClusterSpec, PlatformConfig
+from repro.platform.evolve import EvolvePlatform
+
+COMM_FRACTIONS = (0.1, 0.3, 0.5)
+JOB_DURATION = 900.0
+
+
+def run_gang(comm_fraction: float, zone_aware: bool):
+    platform = EvolvePlatform(
+        cluster_spec=ClusterSpec(node_count=4, zones=2),
+        config=PlatformConfig(seed=5),
+        scheduler="converged",
+        scheduler_kwargs={"zone_aware_gangs": zone_aware,
+                          "interference_weight": 0.0},
+    )
+    job = platform.submit_hpc(
+        "mpi", ranks=2, duration=JOB_DURATION,
+        allocation=ResourceVector(cpu=7, memory=8, disk_bw=5, net_bw=100),
+        comm_fraction=comm_fraction, zone_penalty=1.0,
+    )
+    platform.run(6 * 3600.0)
+    return job.makespan()
+
+
+@pytest.mark.benchmark(group="f12-zones", min_rounds=1, max_time=1)
+def test_f12_zone_topology(benchmark, report):
+    results = {}
+
+    def experiment():
+        for cf in COMM_FRACTIONS:
+            for aware in (True, False):
+                key = (cf, aware)
+                if key not in results:
+                    results[key] = run_gang(cf, aware)
+        return results
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for cf in COMM_FRACTIONS:
+        aware = results[(cf, True)]
+        blind = results[(cf, False)]
+        rows.append([
+            f"{cf:.0%}",
+            f"{aware:.0f} s",
+            f"{blind:.0f} s",
+            f"{blind / aware:.2f}x",
+        ])
+    report(
+        "",
+        "R-F12: gang makespan, zone-aware vs zone-blind placement "
+        "(2 zones, cross-zone comm 2x slower)",
+        format_table(
+            ["comm fraction", "zone-aware", "zone-blind", "blind/aware"],
+            rows,
+        ),
+    )
+
+    gain_light = results[(0.1, False)] / results[(0.1, True)]
+    gain_heavy = results[(0.5, False)] / results[(0.5, True)]
+    benchmark.extra_info["gain_at_50pct_comm"] = gain_heavy
+    # Shape: the penalty grows with communication share.
+    assert gain_heavy > gain_light
+    assert gain_heavy > 1.3
+    # Zone-aware always runs at nominal speed.
+    for cf in COMM_FRACTIONS:
+        assert results[(cf, True)] == pytest.approx(JOB_DURATION + 12, abs=20)

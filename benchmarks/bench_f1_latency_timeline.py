@@ -1,0 +1,68 @@
+"""R-F1 — Latency timeline under diurnal + flash-crowd load, per policy.
+
+The figure behind R-T1's headline number: p99 latency of the ``web``
+service sampled every 5 minutes for each policy, so *when* each policy
+violates is visible (static: whole peak; VPA: every ramp; HPA: flash
+crowd only; adaptive: brief transients).
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from benchmarks.scenarios import HOUR, build_platform, deploy_service_mix
+
+POLICIES = ("static", "hpa", "vpa", "adaptive")
+DURATION = 3 * HOUR
+SAMPLE = 300.0
+PLO_TARGET = 0.05
+
+
+def run_policy(policy: str):
+    platform = build_platform(policy, nodes=6, seed=42)
+    deploy_service_mix(platform)
+    platform.run(DURATION)
+    series = platform.collector.series("app/web/latency")
+    times, values = series.to_lists()
+    samples = {}
+    for t, v in zip(times, values):
+        bucket = int(t // SAMPLE) * SAMPLE
+        samples.setdefault(bucket, []).append(v)
+    return {t: max(vs) for t, vs in sorted(samples.items())}
+
+
+@pytest.mark.benchmark(group="f1-latency-timeline", min_rounds=1, max_time=1)
+def test_f1_latency_timeline(benchmark, report):
+    results = {}
+
+    def experiment():
+        for policy in POLICIES:
+            if policy not in results:
+                results[policy] = run_policy(policy)
+        return results
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    buckets = sorted(results["adaptive"])
+    rows = []
+    for t in buckets:
+        rows.append([
+            f"{t / 60:.0f}",
+            *(f"{results[p].get(t, float('nan')) * 1000:.0f}" for p in POLICIES),
+        ])
+    report(
+        "",
+        "R-F1: worst p99 latency (ms) per 5-min bucket, web service "
+        f"(target {PLO_TARGET * 1000:.0f} ms)",
+        format_table(["t (min)", *POLICIES], rows),
+    )
+
+    # Shape: adaptive's worst bucket after warm-up beats static's typical
+    # bucket, and the flash crowd (t≈130 min) is visible for static.
+    warm = [t for t in buckets if t >= 600]
+    adaptive_worst = max(results["adaptive"][t] for t in warm)
+    static_peak = max(results["static"][t] for t in warm)
+    benchmark.extra_info["adaptive_worst_ms"] = adaptive_worst * 1000
+    assert static_peak > PLO_TARGET * 2
+    # Adaptive spends most buckets under target.
+    ok_buckets = sum(1 for t in warm if results["adaptive"][t] <= PLO_TARGET * 1.2)
+    assert ok_buckets / len(warm) > 0.7

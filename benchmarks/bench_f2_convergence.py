@@ -1,0 +1,77 @@
+"""R-F2 — Controller convergence after a load step.
+
+For load steps of 2×, 4×, and 6×: how long until the PLO is met again
+(ratio back ≤ 1 and holding), and how far latency peaked meanwhile —
+with adaptive gains on and off. The figure shows recovery time growing
+sub-linearly with step size: actuation is error-proportional, so a
+bigger violation produces a bigger correction.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import recovery_time
+from benchmarks.scenarios import HOUR, build_platform, step_load_service
+
+STEP_AT = HOUR / 2
+DURATION = 1.5 * HOUR
+FACTORS = (2.0, 4.0, 6.0)
+
+
+def run_step(factor: float, adaptive: bool):
+    platform = build_platform(
+        "adaptive", nodes=4, seed=7,
+        policy_kwargs={"horizontal": False, "adaptive": adaptive},
+    )
+    app = step_load_service(platform, factor=factor, step_at=STEP_AT)
+    platform.run(DURATION)
+    series = platform.collector.series(f"plo/{app}/ratio")
+    settle = recovery_time(series, after=STEP_AT, threshold=1.0, hold=120.0)
+    times, values = series.to_lists()
+    peak = max(
+        (v for t, v in zip(times, values) if t >= STEP_AT), default=0.0
+    )
+    violation = platform.result().trackers[app].violation_fraction
+    return settle, peak, violation
+
+
+@pytest.mark.benchmark(group="f2-convergence", min_rounds=1, max_time=1)
+def test_f2_convergence(benchmark, report):
+    results = {}
+
+    def experiment():
+        for factor in FACTORS:
+            for adaptive in (True, False):
+                key = (factor, adaptive)
+                if key not in results:
+                    results[key] = run_step(factor, adaptive)
+        return results
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for factor in FACTORS:
+        for adaptive in (True, False):
+            settle, peak, violation = results[(factor, adaptive)]
+            rows.append([
+                f"{factor:.0f}x",
+                "adaptive" if adaptive else "fixed",
+                "n/a" if settle is None else f"{settle:.0f} s",
+                f"{peak:.1f}x",
+                f"{violation:.1%}",
+            ])
+    report(
+        "",
+        "R-F2: recovery time and peak PLO ratio after a load step",
+        format_table(
+            ["step", "gains", "recovery time", "peak ratio", "violation time"],
+            rows,
+        ),
+    )
+
+    # Shape: the loop settles for every step size, within minutes.
+    for factor in FACTORS:
+        settle, _peak, _v = results[(factor, True)]
+        assert settle is not None
+        assert settle < 600.0
+    benchmark.extra_info["settle_6x"] = results[(6.0, True)][0]

@@ -1,0 +1,86 @@
+"""R-F4 — Converged co-location over time: utilization and HPC waits.
+
+A stream of HPC gangs arriving through a day of services + analytics,
+on the shared cluster vs the siloed partition. Figure series: cluster
+usage per 30 minutes for both schedulers, plus gang wait times. Shape:
+the converged cluster runs hotter (one pool absorbs every world's peaks)
+and serves gangs that the HPC silo cannot even admit.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from benchmarks.scenarios import (
+    HOUR,
+    build_platform,
+    deploy_batch_churn,
+    deploy_hpc_stream,
+    deploy_service_mix,
+)
+
+DURATION = 4 * HOUR
+BUCKET = 1800.0
+
+
+def run_scheduler(scheduler: str):
+    platform = build_platform("adaptive", nodes=6, seed=31, scheduler=scheduler)
+    deploy_service_mix(platform)
+    deploy_batch_churn(platform, start=0.25 * HOUR)
+    gangs = deploy_hpc_stream(platform, count=4, spacing=0.75 * HOUR)
+    platform.run(DURATION)
+    series = platform.collector.series("cluster/usage_frac/cpu")
+    usage = {}
+    for bucket_start in range(0, int(DURATION), int(BUCKET)):
+        mean = series.integrate(bucket_start, bucket_start + BUCKET) / BUCKET
+        usage[bucket_start] = mean
+    return usage, gangs, platform.result()
+
+
+@pytest.mark.benchmark(group="f4-colocation", min_rounds=1, max_time=1)
+def test_f4_colocation(benchmark, report):
+    results = {}
+
+    def experiment():
+        for scheduler in ("converged", "siloed"):
+            if scheduler not in results:
+                results[scheduler] = run_scheduler(scheduler)
+        return results
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    conv_usage, gangs, conv = results["converged"]
+    silo_usage, _gangs, silo = results["siloed"]
+    rows = [
+        [f"{t / 60:.0f}-{(t + BUCKET) / 60:.0f}",
+         f"{conv_usage[t]:.1%}", f"{silo_usage[t]:.1%}"]
+        for t in sorted(conv_usage)
+    ]
+    report(
+        "",
+        "R-F4: cluster CPU usage per 30-min bucket",
+        format_table(["t (min)", "converged", "siloed"], rows),
+    )
+    wait_rows = []
+    for gang in gangs:
+        wait_rows.append([
+            gang,
+            "never" if conv.hpc_waits[gang] is None
+            else f"{conv.hpc_waits[gang]:.0f} s",
+            "never" if silo.hpc_waits.get(gang) is None else
+            f"{silo.hpc_waits[gang]:.0f} s",
+        ])
+    report(
+        "",
+        "R-F4: HPC gang queue waits",
+        format_table(["gang", "converged", "siloed"], wait_rows),
+    )
+
+    mean_conv = sum(conv_usage.values()) / len(conv_usage)
+    mean_silo = sum(silo_usage.values()) / len(silo_usage)
+    benchmark.extra_info["usage_gain"] = mean_conv / max(mean_silo, 1e-9)
+
+    # Shape: converged sustains materially higher usage and admits every
+    # gang; the 2-node HPC silo cannot host 4×8-core gangs at all.
+    assert mean_conv > 1.5 * mean_silo
+    assert all(conv.hpc_waits[g] is not None for g in gangs)
+    assert all(silo.hpc_waits[g] is None for g in gangs)

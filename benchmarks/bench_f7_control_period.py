@@ -1,0 +1,67 @@
+"""R-F7 — Sensitivity to the control period.
+
+The service mix under the adaptive policy with control periods from 5 s
+to 80 s. Figure series: violation time and resize count vs period.
+Shape expected: violations grow with the period (slower reaction to
+transients) while actuation churn falls; the default (10 s) sits at the
+knee. This is the cadence-vs-stability trade every deployed controller
+must pick, so the evaluation documents it.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.cluster.events import PodResized
+from repro.platform.config import ClusterSpec, PlatformConfig
+from repro.platform.evolve import EvolvePlatform
+from benchmarks.scenarios import HOUR, deploy_service_mix
+
+PERIODS = (5.0, 10.0, 20.0, 40.0, 80.0)
+DURATION = 3 * HOUR
+
+
+def run_period(period: float):
+    platform = EvolvePlatform(
+        cluster_spec=ClusterSpec(node_count=6),
+        config=PlatformConfig(seed=42, control_interval=period),
+        scheduler="converged",
+        policy="adaptive",
+    )
+    resizes = [0]
+    platform.api.watch(PodResized, lambda e: resizes.__setitem__(0, resizes[0] + 1))
+    deploy_service_mix(platform)
+    platform.run(DURATION)
+    return platform.result().total_violation_fraction(), resizes[0]
+
+
+@pytest.mark.benchmark(group="f7-control-period", min_rounds=1, max_time=1)
+def test_f7_control_period(benchmark, report):
+    results = {}
+
+    def experiment():
+        for period in PERIODS:
+            if period not in results:
+                results[period] = run_period(period)
+        return results
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        [f"{period:.0f} s", f"{results[period][0]:.1%}", results[period][1]]
+        for period in PERIODS
+    ]
+    report(
+        "",
+        f"R-F7: violation time and resize churn vs control period "
+        f"(service mix, {DURATION / HOUR:.0f} h)",
+        format_table(["control period", "violation time", "resizes"], rows),
+    )
+
+    fastest = results[PERIODS[0]]
+    slowest = results[PERIODS[-1]]
+    benchmark.extra_info["violations_at_80s"] = slowest[0]
+    # Shape: slower loops violate more and resize less.
+    assert slowest[0] > fastest[0]
+    assert slowest[1] < fastest[1]
+    # The default period keeps violations in single digits.
+    assert results[10.0][0] < 0.10

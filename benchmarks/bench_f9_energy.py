@@ -1,0 +1,90 @@
+"""R-F9 — Energy: consolidation on the converged cluster.
+
+The DATE-venue angle: the converged scheduler's consolidate-packing mode
+packs the mixed workload onto few nodes so the rest park, versus the
+spread default and the siloed partition (which keeps every pool's nodes
+warm). Reports energy (kWh), mean power, parked-node time, and the PLO
+cost of consolidating.
+Shape expected: consolidate < spread < siloed energy, with a modest
+violation penalty for consolidation (less headroom per node).
+"""
+
+import pytest
+
+from repro.analysis.energy import PowerModel, cluster_energy
+from repro.analysis.report import format_table
+from benchmarks.scenarios import HOUR, build_platform, deploy_service_mix
+
+DURATION = 3 * HOUR
+
+CONFIGS = {
+    "converged+consolidate": dict(
+        scheduler="converged", scheduler_kwargs={"packing": "consolidate"}
+    ),
+    "converged+spread": dict(scheduler="converged", scheduler_kwargs={}),
+    "siloed": dict(scheduler="siloed", scheduler_kwargs={}),
+}
+
+
+def run_config(name):
+    cfg = CONFIGS[name]
+    platform = build_platform(
+        "adaptive", nodes=6, seed=42,
+        scheduler=cfg["scheduler"],
+        scheduler_kwargs=cfg["scheduler_kwargs"] or None,
+    )
+    deploy_service_mix(platform)
+    platform.run(DURATION)
+    model = PowerModel()
+    report = cluster_energy(
+        platform.collector, list(platform.cluster.nodes),
+        start=0.0, end=DURATION, model=model,
+    )
+    parked_kwh_per_node = model.parked_watts * DURATION / 3.6e6
+    parked_nodes = sum(
+        1 for kwh in report.per_node_kwh.values()
+        if kwh <= parked_kwh_per_node * 1.05
+    )
+    return report, parked_nodes, platform.result()
+
+
+@pytest.mark.benchmark(group="f9-energy", min_rounds=1, max_time=1)
+def test_f9_energy(benchmark, report):
+    results = {}
+
+    def experiment():
+        for name in CONFIGS:
+            if name not in results:
+                results[name] = run_config(name)
+        return results
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for name in CONFIGS:
+        energy, parked, result = results[name]
+        rows.append([
+            name,
+            f"{energy.total_kwh:.2f} kWh",
+            f"{energy.mean_watts:.0f} W",
+            f"{parked}/6",
+            f"{result.total_violation_fraction():.1%}",
+        ])
+    report(
+        "",
+        f"R-F9: cluster energy over {DURATION / HOUR:.0f} h (service mix)",
+        format_table(
+            ["configuration", "energy", "mean power", "parked nodes",
+             "violations"],
+            rows,
+        ),
+    )
+
+    consolidate = results["converged+consolidate"][0].total_kwh
+    spread = results["converged+spread"][0].total_kwh
+    benchmark.extra_info["energy_saving"] = 1 - consolidate / spread
+    # Shape: consolidation parks nodes and saves energy without wrecking
+    # the PLOs.
+    assert consolidate < spread
+    assert results["converged+consolidate"][1] >= 1
+    assert results["converged+consolidate"][2].total_violation_fraction() < 0.15

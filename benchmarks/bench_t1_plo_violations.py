@@ -1,0 +1,63 @@
+"""R-T1 — PLO violations per policy (the headline table).
+
+Three services with different bottlenecks (CPU / disk / memory+net) under
+dynamic load for 4 simulated hours, once per autoscaling policy. Reports
+per-app and total violation time. Shape expected from the paper's claims:
+the adaptive multi-resource controller cuts violations by a large factor
+(Skynet-lineage claim: >7×) versus the request-based Kubernetes baseline.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from benchmarks.scenarios import HOUR, build_platform, deploy_service_mix
+
+POLICIES = ("static", "hpa", "vpa", "adaptive")
+DURATION = 4 * HOUR
+
+
+def run_policy(policy: str):
+    platform = build_platform(policy, nodes=6, seed=42)
+    apps = deploy_service_mix(platform)
+    platform.run(DURATION)
+    return apps, platform.result()
+
+
+@pytest.mark.benchmark(group="t1-plo-violations", min_rounds=1, max_time=1)
+def test_t1_plo_violations(benchmark, report):
+    results = {}
+
+    def experiment():
+        for policy in POLICIES:
+            if policy not in results:
+                results[policy] = run_policy(policy)
+        return results
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    apps = results["adaptive"][0]
+    rows = []
+    for policy in POLICIES:
+        _apps, result = results[policy]
+        row = [policy]
+        for app in apps:
+            row.append(f"{result.violation_fraction(app):.1%}")
+        row.append(f"{result.total_violation_fraction():.1%}")
+        rows.append(row)
+    report(
+        "",
+        "R-T1: PLO violation time per policy "
+        f"(3 services, 6 nodes, {DURATION / HOUR:.0f} h)",
+        format_table(["policy", *apps, "total"], rows),
+    )
+
+    static_total = results["static"][1].total_violation_fraction()
+    adaptive_total = results["adaptive"][1].total_violation_fraction()
+    improvement = static_total / max(adaptive_total, 1e-6)
+    report(f"adaptive improvement over static: {improvement:.1f}x")
+    benchmark.extra_info["improvement_vs_static"] = improvement
+
+    # Shape assertions: adaptive wins by a wide margin.
+    assert adaptive_total < static_total / 3
+    for policy in ("hpa", "vpa"):
+        assert adaptive_total <= results[policy][1].total_violation_fraction() + 0.02

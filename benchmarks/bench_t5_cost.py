@@ -1,0 +1,73 @@
+"""R-T5 — Allocation cost per policy (the operator's view of R-T2).
+
+The same over-provisioned service mix as R-T2, but billed: each policy's
+reserved resources priced at cloud-style unit prices, against the fixed
+cost of keeping the cluster provisioned. Shape expected: the adaptive
+controller cuts the tenants' allocation bill by several × versus static
+sizing at near-equal PLO compliance — the money version of reclaim.
+"""
+
+import pytest
+
+from repro.analysis.cost import PriceSheet, app_cost, cluster_provisioned_cost
+from repro.analysis.report import format_table
+from benchmarks.scenarios import HOUR, build_platform
+from benchmarks.bench_t2_utilization import deploy_overprovisioned_mix
+
+POLICIES = ("static", "vpa", "adaptive")
+DURATION = 4 * HOUR
+
+
+def run_policy(policy: str):
+    platform = build_platform(policy, nodes=6, seed=17)
+    apps = deploy_overprovisioned_mix(platform)
+    platform.run(DURATION)
+    prices = PriceSheet()
+    bill = sum(
+        app_cost(platform.collector, app, prices=prices).total for app in apps
+    )
+    hardware = cluster_provisioned_cost(
+        platform.api.total_allocatable(), DURATION, prices=prices
+    )
+    return bill, hardware, platform.result()
+
+
+@pytest.mark.benchmark(group="t5-cost", min_rounds=1, max_time=1)
+def test_t5_cost(benchmark, report):
+    results = {}
+
+    def experiment():
+        for policy in POLICIES:
+            if policy not in results:
+                results[policy] = run_policy(policy)
+        return results
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for policy in POLICIES:
+        bill, hardware, result = results[policy]
+        rows.append([
+            policy,
+            f"${bill:.2f}",
+            f"{bill / hardware:.1%}",
+            f"{result.total_violation_fraction():.1%}",
+        ])
+    hardware = results["static"][1]
+    report(
+        "",
+        f"R-T5: tenant allocation bill over {DURATION / HOUR:.0f} h "
+        f"(cluster hardware cost ${hardware:.2f})",
+        format_table(
+            ["policy", "allocation bill", "of hardware cost", "violations"],
+            rows,
+        ),
+    )
+
+    static_bill = results["static"][0]
+    adaptive_bill = results["adaptive"][0]
+    benchmark.extra_info["bill_reduction"] = static_bill / adaptive_bill
+    # Shape: reclaim translates into a multi-x smaller bill at small
+    # violation cost.
+    assert adaptive_bill < static_bill / 2
+    assert results["adaptive"][2].total_violation_fraction() < 0.15

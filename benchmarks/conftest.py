@@ -1,0 +1,25 @@
+"""Benchmark harness plumbing.
+
+Every benchmark prints its table/figure through the ``report`` fixture so
+the rows appear in ``pytest benchmarks/ --benchmark-only`` output (and in
+``bench_output.txt``) even though pytest captures stdout by default.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Printer that bypasses pytest's capture for experiment tables."""
+
+    def _print(*lines: str) -> None:
+        with capsys.disabled():
+            for line in lines:
+                sys.stdout.write(line + "\n")
+            sys.stdout.flush()
+
+    return _print

@@ -1,0 +1,190 @@
+"""Shared workload scenarios for the reconstructed evaluation suite.
+
+Each experiment in EXPERIMENTS.md builds on these: a mixed-bottleneck
+service set (R-T1/R-T2/R-F1), step loads (R-T3/R-F2), the phase-shifting
+service (R-F3), and the mixed-worlds job stream (R-T4/R-F4).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.resources import ResourceVector
+from repro.platform.config import ClusterSpec, PlatformConfig
+from repro.platform.evolve import EvolvePlatform
+from repro.storage.placement import spread_blocks
+from repro.workloads.bigdata import Stage
+from repro.workloads.microservice import DemandPhase, ServiceDemands
+from repro.workloads.plo import LatencyPLO
+from repro.workloads.traces import (
+    BurstyTrace,
+    CompositeTrace,
+    DiurnalTrace,
+    FlashCrowdTrace,
+    StepTrace,
+)
+
+HOUR = 3600.0
+
+
+def build_platform(
+    policy: str,
+    *,
+    nodes: int = 6,
+    seed: int = 42,
+    scheduler: str = "converged",
+    policy_kwargs: dict | None = None,
+    scheduler_kwargs: dict | None = None,
+) -> EvolvePlatform:
+    return EvolvePlatform(
+        cluster_spec=ClusterSpec(node_count=nodes),
+        config=PlatformConfig(seed=seed),
+        scheduler=scheduler,
+        policy=policy,
+        policy_kwargs=policy_kwargs,
+        scheduler_kwargs=scheduler_kwargs,
+    )
+
+
+def deploy_service_mix(platform: EvolvePlatform) -> list[str]:
+    """The R-T1 service mix: three services with different bottlenecks.
+
+    * ``web`` — CPU-bound, diurnal + flash crowd.
+    * ``media`` — disk-I/O-bound (large reads per request), bursty.
+    * ``cache`` — memory-and-network bound, diurnal off-phase.
+
+    All are deliberately sized for their *mean* load, so every policy has
+    to handle the peaks. Returns the app names.
+    """
+    rng = platform.rng
+    platform.deploy_microservice(
+        "web",
+        trace=CompositeTrace([
+            DiurnalTrace(base=200, amplitude=140, period=2 * HOUR),
+            FlashCrowdTrace(start_time=1.2 * HOUR, peak_rate=250, rise=60,
+                            decay=600),
+        ]),
+        demands=ServiceDemands(cpu_seconds=0.008, disk_mb=0.02, net_mb=0.05,
+                               base_latency=0.008),
+        allocation=ResourceVector(cpu=1.6, memory=2, disk_bw=20, net_bw=30),
+        plo=LatencyPLO(0.05, window=30),
+    )
+    platform.deploy_microservice(
+        "media",
+        trace=BurstyTrace(base=40, burst_factor=3.0, burst_rate=1 / 1500,
+                          burst_duration=180, horizon=6 * HOUR,
+                          rng=rng.stream("trace/media")),
+        demands=ServiceDemands(cpu_seconds=0.002, disk_mb=2.0, net_mb=1.0,
+                               base_latency=0.015),
+        allocation=ResourceVector(cpu=0.5, memory=2, disk_bw=90, net_bw=60),
+        plo=LatencyPLO(0.08, window=30),
+    )
+    platform.deploy_microservice(
+        "cache",
+        trace=DiurnalTrace(base=150, amplitude=90, period=2 * HOUR,
+                           phase=HOUR),
+        demands=ServiceDemands(cpu_seconds=0.001, net_mb=0.5, mem_base=1.0,
+                               mem_per_inflight=0.02, base_latency=0.005),
+        allocation=ResourceVector(cpu=0.4, memory=2.5, disk_bw=10, net_bw=90),
+        plo=LatencyPLO(0.04, window=30),
+    )
+    return ["web", "media", "cache"]
+
+
+def deploy_batch_churn(platform: EvolvePlatform, *, start: float = 0.0) -> list[str]:
+    """Background analytics jobs arriving through the run (R-T2 filler)."""
+    names = []
+    spread_blocks(
+        platform.store, "events", total_mb=8000, block_mb=100,
+        nodes=list(platform.cluster.nodes)[: max(1, len(platform.cluster.nodes) // 2)],
+    )
+    for i in range(3):
+        name = f"batch-{i}"
+        platform.submit_bigdata(
+            name,
+            stages=[
+                # The scan is I/O-bound (input dominates CPU work), so
+                # executor placement relative to the dataset matters.
+                Stage("scan", 450.0, input_mb=24_000),
+                Stage("agg", 800.0, input_mb=500, deps=("scan",)),
+            ],
+            allocation=ResourceVector(cpu=2, memory=4, disk_bw=100, net_bw=80),
+            executors=3,
+            dataset="events",
+            delay=start + i * HOUR,
+        )
+        names.append(name)
+    return names
+
+
+def deploy_gang_rush(platform: EvolvePlatform, *, ranks: int = 8,
+                     at: float = 120.0) -> list[str]:
+    """Two simultaneous large gangs (R-T4).
+
+    Sized so either gang fits the free cluster alone but not both at once.
+    A gang-aware scheduler admits one and defers the other entirely; a
+    per-pod scheduler binds stray ranks of the second gang, which then
+    hold capacity hostage (spinning at the barrier) while elastic
+    workloads queue behind them.
+    """
+    names = []
+    for i in range(2):
+        name = f"gang-{i}"
+        platform.submit_hpc(
+            name, ranks=ranks, duration=0.5 * HOUR,
+            allocation=ResourceVector(cpu=6, memory=10, disk_bw=5, net_bw=120),
+            delay=at,
+        )
+        names.append(name)
+    return names
+
+
+def deploy_hpc_stream(platform: EvolvePlatform, *, count: int = 3,
+                      spacing: float = 0.75 * HOUR) -> list[str]:
+    """Sequential HPC gangs (R-T4/R-F4)."""
+    names = []
+    for i in range(count):
+        name = f"hpc-{i}"
+        platform.submit_hpc(
+            name, ranks=4, duration=0.4 * HOUR,
+            allocation=ResourceVector(cpu=8, memory=10, disk_bw=5, net_bw=120),
+            delay=120.0 + i * spacing,
+        )
+        names.append(name)
+    return names
+
+
+def step_load_service(platform: EvolvePlatform, *, factor: float = 3.0,
+                      step_at: float = HOUR / 2) -> str:
+    """A service whose load steps up by ``factor`` (R-T3/R-F2)."""
+    base = 60.0
+    platform.deploy_microservice(
+        "stepper",
+        trace=StepTrace([(0.0, base), (step_at, base * factor)]),
+        demands=ServiceDemands(cpu_seconds=0.01, disk_mb=0.1, net_mb=0.05,
+                               base_latency=0.01),
+        allocation=ResourceVector(cpu=1, memory=1.5, disk_bw=20, net_bw=20),
+        plo=LatencyPLO(0.05, window=30),
+    )
+    return "stepper"
+
+
+PHASE_LEN = 1200.0
+
+
+def phase_shift_service(platform: EvolvePlatform) -> str:
+    """The moving-bottleneck service (R-F3)."""
+    phases = [
+        DemandPhase(0.0, ServiceDemands(
+            cpu_seconds=0.02, disk_mb=0.05, net_mb=0.05, base_latency=0.01)),
+        DemandPhase(PHASE_LEN, ServiceDemands(
+            cpu_seconds=0.002, disk_mb=2.0, net_mb=0.05, base_latency=0.01)),
+        DemandPhase(2 * PHASE_LEN, ServiceDemands(
+            cpu_seconds=0.002, disk_mb=0.05, net_mb=1.5, base_latency=0.01)),
+    ]
+    platform.deploy_microservice(
+        "shifter",
+        trace=StepTrace([(0.0, 60.0)]),
+        demands=phases,
+        allocation=ResourceVector(cpu=1, memory=2, disk_bw=60, net_bw=60),
+        plo=LatencyPLO(0.05, window=30),
+    )
+    return "shifter"

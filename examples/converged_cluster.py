@@ -1,0 +1,97 @@
+"""The convergence demo: Big-Data + HPC + Cloud on one cluster.
+
+Runs the same mixed workload twice — once on a statically-siloed cluster
+(the pre-convergence status quo: one node pool per world) and once under
+the converged scheduler — and compares utilization, HPC queue waits, job
+makespans, and microservice PLO compliance.
+
+Run:  python examples/converged_cluster.py
+"""
+
+from repro import ClusterSpec, EvolvePlatform, PlatformConfig, ResourceVector
+from repro.analysis.report import format_table
+from repro.storage.placement import spread_blocks
+from repro.workloads import DiurnalTrace, LatencyPLO, ServiceDemands, Stage
+
+DURATION = 2 * 3600.0
+
+
+def run_world(scheduler: str):
+    platform = EvolvePlatform(
+        cluster_spec=ClusterSpec(node_count=6),
+        config=PlatformConfig(seed=13),
+        scheduler=scheduler,
+        policy="adaptive",
+    )
+    spread_blocks(
+        platform.store, "clickstream", total_mb=6000, block_mb=100,
+        nodes=list(platform.cluster.nodes)[:3],
+    )
+
+    # Cloud world: a user-facing API.
+    platform.deploy_microservice(
+        "api",
+        trace=DiurnalTrace(base=120, amplitude=80, period=3600),
+        demands=ServiceDemands(cpu_seconds=0.01, net_mb=0.05, base_latency=0.01),
+        allocation=ResourceVector(cpu=1, memory=2, disk_bw=20, net_bw=40),
+        plo=LatencyPLO(0.06, window=30),
+    )
+
+    # Big-data world: a daily ETL over the clickstream dataset.
+    platform.submit_bigdata(
+        "etl",
+        stages=[
+            Stage("scan", 3000.0, input_mb=6000),
+            Stage("aggregate", 1500.0, input_mb=1000, deps=("scan",)),
+            Stage("report", 300.0, deps=("aggregate",)),
+        ],
+        allocation=ResourceVector(cpu=3, memory=6, disk_bw=150, net_bw=100),
+        executors=4,
+        dataset="clickstream",
+        deadline=DURATION,
+    )
+
+    # HPC world: two tightly-coupled simulations, gang-scheduled.
+    for i, delay in enumerate((60.0, 1800.0)):
+        platform.submit_hpc(
+            f"cfd-{i}", ranks=4, duration=900.0,
+            allocation=ResourceVector(cpu=8, memory=12, disk_bw=5, net_bw=150),
+            delay=delay,
+        )
+
+    platform.run(DURATION)
+    return platform.result()
+
+
+def fmt(value, suffix=""):
+    if value is None:
+        return "never"
+    return f"{value:.0f}{suffix}"
+
+
+def main() -> None:
+    results = {s: run_world(s) for s in ("siloed", "converged")}
+    rows = []
+    for name, result in results.items():
+        rows.append([
+            name,
+            f"{result.utilization.overall_usage:.1%}",
+            f"{result.violation_fraction('api'):.1%}",
+            fmt(result.makespans.get("etl"), " s"),
+            fmt(result.hpc_waits.get("cfd-0"), " s"),
+            fmt(result.hpc_waits.get("cfd-1"), " s"),
+        ])
+    print("=== mixed worlds on 6 nodes: siloed vs converged ===")
+    print(format_table(
+        ["scheduler", "cluster usage", "api violations",
+         "etl makespan", "cfd-0 wait", "cfd-1 wait"],
+        rows,
+    ))
+    print()
+    print("Reading: silos strand capacity — HPC gangs (32 cores) cannot fit")
+    print("in a 2-node pool and wait forever, while the converged scheduler")
+    print("admits them immediately and still protects the api's PLO.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Resilience demo: node failures under an armed chaos monkey.
+
+A managed service and a batch job run while random node crashes strike
+the cluster. Shows the full recovery chain: crash → pods evicted →
+applications self-heal (replacement pods) → scheduler re-places →
+controller re-converges on the PLO.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from repro import ClusterSpec, EvolvePlatform, PlatformConfig, ResourceVector
+from repro.workloads import ConstantTrace, LatencyPLO, ServiceDemands, Stage
+
+DURATION = 2 * 3600.0
+
+
+def main() -> None:
+    platform = EvolvePlatform(
+        cluster_spec=ClusterSpec(node_count=5),
+        config=PlatformConfig(seed=21),
+        scheduler="converged",
+        policy="adaptive",
+    )
+    svc = platform.deploy_microservice(
+        "checkout",
+        trace=ConstantTrace(200),
+        demands=ServiceDemands(cpu_seconds=0.01, net_mb=0.05, base_latency=0.01),
+        allocation=ResourceVector(cpu=1, memory=1.5, disk_bw=20, net_bw=40),
+        plo=LatencyPLO(0.05, window=30),
+        replicas=3,
+    )
+    job = platform.submit_bigdata(
+        "nightly-etl",
+        stages=[Stage("map", 6000.0), Stage("reduce", 1500.0, deps=("map",))],
+        allocation=ResourceVector(cpu=2, memory=4, disk_bw=60, net_bw=40),
+        executors=3,
+    )
+    platform.enable_chaos(mtbf=1200.0, repair_time=240.0)
+    platform.run(DURATION)
+
+    result = platform.result()
+    tracker = result.trackers["checkout"]
+    print("=== chaos run:", f"{DURATION / 3600:.0f} h, MTBF 20 min, repair 4 min ===")
+    print(f"node failures injected : {len(platform.injector.failures)}")
+    for failure in platform.injector.failures:
+        print(
+            f"  t={failure.time:7.0f}s  {failure.node_name} down, "
+            f"{len(failure.evicted_pods)} pods evicted"
+        )
+    print(f"service replacements   : {svc.replacements} pods respawned")
+    print(f"service PLO violations : {tracker.violation_fraction:.1%}")
+    print(f"batch job finished     : {job.done}"
+          + (f" (makespan {job.makespan():.0f}s)" if job.done else ""))
+    print(f"batch executor respawns: {job.replacements}")
+    print()
+    print("Reading: every crash costs a short violation burst while replicas")
+    print("restart elsewhere; the controller re-converges without operator")
+    print("action, and the batch job absorbs executor loss via self-healing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Policy shoot-out: static vs HPA vs VPA vs adaptive multi-resource.
+
+The same service, load, and cluster under each autoscaling policy — the
+scenario behind reconstructed tables R-T1/R-T2. The load mixes a diurnal
+swing with a flash crowd, so policies are tested on both slow drift and a
+sudden spike.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro import ClusterSpec, EvolvePlatform, PlatformConfig, ResourceVector
+from repro.analysis.report import format_table
+from repro.workloads import (
+    CompositeTrace,
+    DiurnalTrace,
+    FlashCrowdTrace,
+    LatencyPLO,
+    ServiceDemands,
+)
+
+POLICIES = ("static", "hpa", "vpa", "adaptive")
+DURATION = 3 * 3600.0
+
+
+def run_one(policy: str):
+    platform = EvolvePlatform(
+        cluster_spec=ClusterSpec(node_count=4),
+        config=PlatformConfig(seed=42),
+        scheduler="converged",
+        policy=policy,
+    )
+    trace = CompositeTrace([
+        DiurnalTrace(base=150, amplitude=100, period=5400),
+        FlashCrowdTrace(start_time=4000, peak_rate=250, rise=60, decay=900),
+    ])
+    platform.deploy_microservice(
+        "shop",
+        trace=trace,
+        demands=ServiceDemands(cpu_seconds=0.008, disk_mb=0.1, net_mb=0.05,
+                               base_latency=0.01),
+        allocation=ResourceVector(cpu=1, memory=2, disk_bw=40, net_bw=40),
+        plo=LatencyPLO(0.05, window=30),
+    )
+    platform.run(DURATION)
+    return platform.result()
+
+
+def main() -> None:
+    rows = []
+    for policy in POLICIES:
+        result = run_one(policy)
+        tracker = result.trackers["shop"]
+        rows.append([
+            policy,
+            f"{tracker.violation_fraction:.1%}",
+            f"{tracker.worst_ratio:.2f}x",
+            f"{result.utilization.overall_usage:.1%}",
+            f"{result.utilization.overall_alloc:.1%}",
+        ])
+    print("=== 3 h diurnal + flash-crowd, one service, 4 nodes ===")
+    print(format_table(
+        ["policy", "violation time", "worst ratio", "mean usage", "mean alloc"],
+        rows,
+    ))
+    print()
+    print("Reading: the adaptive controller should show the lowest violation")
+    print("time while allocating the least (usage close to alloc).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — reproduction of EVOLVE (DATE 2022).
+
+A converged Big-Data / HPC / Cloud platform on a simulated Kubernetes
+substrate, whose core contribution is a multi-resource adaptive PID
+autoscaler mapping Performance Level Objectives to CPU, memory, disk-
+bandwidth, and network-bandwidth allocations.
+
+Quickstart::
+
+    from repro import EvolvePlatform, ResourceVector
+    from repro.workloads import DiurnalTrace, LatencyPLO, ServiceDemands
+
+    platform = EvolvePlatform(policy="adaptive")
+    platform.deploy_microservice(
+        "frontend",
+        trace=DiurnalTrace(base=250, amplitude=180, period=3600),
+        demands=ServiceDemands(cpu_seconds=0.01),
+        allocation=ResourceVector(cpu=1, memory=1, disk_bw=20, net_bw=20),
+        plo=LatencyPLO(0.08),
+    )
+    platform.run(2 * 3600)
+    print(platform.result().violation_fraction("frontend"))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reconstructed evaluation suite.
+"""
+
+from repro.cluster.resources import RESOURCES, ResourceVector
+from repro.platform.evolve import EvolvePlatform, ExperimentResult
+from repro.platform.config import ClusterSpec, PlatformConfig
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "RESOURCES",
+    "ResourceVector",
+    "EvolvePlatform",
+    "ExperimentResult",
+    "ClusterSpec",
+    "PlatformConfig",
+    "__version__",
+]

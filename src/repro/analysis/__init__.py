@@ -1,0 +1,31 @@
+"""Evaluation support: PLO monitoring, summary statistics, table output."""
+
+from repro.analysis.stats import (
+    PLOMonitor,
+    UtilizationSummary,
+    overshoot,
+    recovery_time,
+    settling_time,
+    utilization_summary,
+)
+from repro.analysis.report import format_table, series_to_rows
+from repro.analysis.cost import CostReport, PriceSheet, app_cost, cluster_provisioned_cost
+from repro.analysis.energy import EnergyReport, PowerModel, cluster_energy
+
+__all__ = [
+    "PriceSheet",
+    "CostReport",
+    "app_cost",
+    "cluster_provisioned_cost",
+    "PowerModel",
+    "EnergyReport",
+    "cluster_energy",
+    "PLOMonitor",
+    "UtilizationSummary",
+    "utilization_summary",
+    "settling_time",
+    "recovery_time",
+    "overshoot",
+    "format_table",
+    "series_to_rows",
+]

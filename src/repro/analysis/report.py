@@ -1,0 +1,54 @@
+"""Plain-text tables and series dumps for the benchmark harness.
+
+Every benchmark prints its table/figure data through these helpers so the
+outputs in EXPERIMENTS.md regenerate byte-comparably.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.metrics.timeseries import TimeSeries
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned, pipe-separated text table."""
+    str_rows = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_to_rows(
+    series: TimeSeries, *, step: float, start: float, end: float
+) -> list[tuple[float, float]]:
+    """Resample a series at fixed steps (step interpolation) for figures."""
+    if step <= 0:
+        raise ValueError("step must be positive")
+    rows = []
+    t = start
+    while t <= end + 1e-9:
+        value = series.value_at(t)
+        if value is not None:
+            rows.append((t, value))
+        t += step
+    return rows

@@ -1,0 +1,219 @@
+"""Experiment statistics: violation accounting, utilization, convergence.
+
+The :class:`PLOMonitor` is deliberately separate from any autoscaling
+policy and runs at its own fixed cadence, so every policy in a comparison
+is judged by exactly the same yardstick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.resources import RESOURCES
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.timeseries import TimeSeries
+from repro.sim.engine import Engine, PeriodicHandle
+from repro.workloads.base import Application
+from repro.workloads.plo import ViolationTracker
+
+__all__ = [
+    "PLOMonitor",
+    "UtilizationSummary",
+    "utilization_summary",
+    "settling_time",
+    "recovery_time",
+    "overshoot",
+]
+
+
+class PLOMonitor:
+    """Policy-independent PLO evaluation loop.
+
+    Tracks a :class:`~repro.workloads.plo.ViolationTracker` per
+    application and records ``plo/<app>/ratio`` and ``plo/<app>/violated``
+    series for the figure benchmarks.
+    """
+
+    def __init__(
+        self, engine: Engine, collector: MetricsCollector, *, interval: float = 5.0
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.engine = engine
+        self.collector = collector
+        self.interval = interval
+        self._apps: list[Application] = []
+        self.trackers: dict[str, ViolationTracker] = {}
+        self._handle: PeriodicHandle | None = None
+
+    def track(self, app: Application) -> ViolationTracker:
+        """Start judging ``app`` (must carry a PLO)."""
+        if app.plo is None:
+            raise ValueError(f"application {app.name!r} has no PLO attached")
+        if app.name in self.trackers:
+            raise ValueError(f"application {app.name!r} already tracked")
+        self._apps.append(app)
+        tracker = ViolationTracker()
+        self.trackers[app.name] = tracker
+        return tracker
+
+    def start(self) -> None:
+        if self._handle is not None:
+            raise RuntimeError("monitor already started")
+        self._handle = self.engine.every(self.interval, self._loop, priority=10)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _loop(self) -> None:
+        now = self.engine.now
+        for app in self._apps:
+            if app.finished and app.plo.kind != "deadline":
+                continue
+            status = app.plo.evaluate(self.collector, app.name, now)
+            self.trackers[app.name].observe(now, status)
+            if status.ratio is not None:
+                self.collector.record(f"plo/{app.name}/ratio", status.ratio)
+                self.collector.record(
+                    f"plo/{app.name}/violated", 1.0 if status.violated else 0.0
+                )
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """Time-averaged cluster usage and allocation fractions per resource."""
+
+    mean_usage: dict[str, float]
+    mean_alloc: dict[str, float]
+
+    @property
+    def overall_usage(self) -> float:
+        """Mean usage fraction across resource dimensions."""
+        return sum(self.mean_usage.values()) / len(self.mean_usage)
+
+    @property
+    def overall_alloc(self) -> float:
+        return sum(self.mean_alloc.values()) / len(self.mean_alloc)
+
+
+def utilization_summary(
+    collector: MetricsCollector, start: float, end: float
+) -> UtilizationSummary:
+    """Integrate the cluster gauge series over ``[start, end]``."""
+    if end <= start:
+        raise ValueError("end must be after start")
+    span = end - start
+    usage = {}
+    alloc = {}
+    for name in RESOURCES:
+        usage[name] = collector.series(f"cluster/usage_frac/{name}").integrate(
+            start, end
+        ) / span
+        alloc[name] = collector.series(f"cluster/alloc_frac/{name}").integrate(
+            start, end
+        ) / span
+    return UtilizationSummary(usage, alloc)
+
+
+def settling_time(
+    series: TimeSeries,
+    *,
+    after: float,
+    target: float,
+    band: float = 0.1,
+    hold: float = 30.0,
+    horizon: float | None = None,
+) -> float | None:
+    """Time from ``after`` until the series enters and *stays* within
+    ``target ± band·target`` for at least ``hold`` seconds.
+
+    Returns None if it never settles within the observed samples (or
+    before ``horizon``).
+    """
+    times, values = series.to_lists()
+    lo, hi = target * (1 - band), target * (1 + band)
+    candidate: float | None = None
+    last_time: float | None = None
+    for t, v in zip(times, values):
+        if t < after or (horizon is not None and t > horizon):
+            continue
+        last_time = t
+        inside = lo <= v <= hi
+        if inside and candidate is None:
+            candidate = t
+        elif not inside:
+            candidate = None
+    if candidate is None or last_time is None:
+        return None
+    if last_time - candidate < hold:
+        return None
+    return candidate - after
+
+
+def recovery_time(
+    series: TimeSeries,
+    *,
+    after: float,
+    threshold: float,
+    hold: float = 60.0,
+) -> float | None:
+    """Time from ``after`` until the series drops to ``≤ threshold`` and
+    stays there for at least ``hold`` seconds.
+
+    The natural convergence metric for PLO ratios: "how long until the
+    objective is met again, for good". Returns None if it never recovers
+    within the observed samples.
+    """
+    times, values = series.to_lists()
+    candidate: float | None = None
+    last_time: float | None = None
+    for t, v in zip(times, values):
+        if t < after:
+            continue
+        last_time = t
+        if v <= threshold:
+            if candidate is None:
+                candidate = t
+        else:
+            candidate = None
+    if candidate is None or last_time is None:
+        return None
+    if last_time - candidate < hold:
+        return None
+    return candidate - after
+
+
+def jains_index(values: list[float]) -> float:
+    """Jain's fairness index over per-tenant shares.
+
+    1.0 = perfectly equal; 1/n = one tenant hogs everything. Used to
+    report how evenly the converged cluster serves its tenants.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    squares = sum(v * v for v in values)
+    return (total * total) / (len(values) * squares)
+
+
+def overshoot(
+    series: TimeSeries, *, after: float, target: float, until: float | None = None
+) -> float:
+    """Peak relative excursion above ``target`` after time ``after``.
+
+    Returns 0 when the series never exceeds the target.
+    """
+    times, values = series.to_lists()
+    peak = 0.0
+    for t, v in zip(times, values):
+        if t < after or (until is not None and t > until):
+            continue
+        if target > 0:
+            peak = max(peak, (v - target) / target)
+    return peak

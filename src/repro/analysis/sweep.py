@@ -1,0 +1,80 @@
+"""Parameter-sweep helper for extending the evaluation.
+
+Runs a factory over the cartesian product of named parameter lists and
+collects one result row per point — the pattern every benchmark in this
+repository hand-rolls, packaged for new experiments::
+
+    grid = sweep(
+        {"policy": ["static", "adaptive"], "seed": [1, 2, 3]},
+        run_point,          # (params: dict) -> Mapping[str, float]
+    )
+    print(format_table(grid.columns, grid.rows))
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, in run order."""
+
+    parameters: list[str]
+    metrics: list[str]
+    points: list[dict] = field(default_factory=list)
+
+    @property
+    def columns(self) -> list[str]:
+        return self.parameters + self.metrics
+
+    @property
+    def rows(self) -> list[list]:
+        return [
+            [point[name] for name in self.columns] for point in self.points
+        ]
+
+    def filter(self, **fixed) -> list[dict]:
+        """Points matching the given parameter values."""
+        return [
+            p for p in self.points
+            if all(p[k] == v for k, v in fixed.items())
+        ]
+
+    def series(self, x: str, y: str, **fixed) -> list[tuple]:
+        """(x, y) pairs for a figure line, at fixed other parameters."""
+        return [(p[x], p[y]) for p in self.filter(**fixed)]
+
+
+def sweep(
+    grid: Mapping[str, Sequence],
+    run_point: Callable[[dict], Mapping[str, float]],
+) -> SweepResult:
+    """Run ``run_point`` over the cartesian product of ``grid``.
+
+    ``run_point`` receives one dict of parameters and returns a mapping
+    of metric name → value; metric names must be consistent across
+    points. Points run in deterministic (itertools.product) order.
+    """
+    if not grid:
+        raise ValueError("grid must name at least one parameter")
+    names = list(grid)
+    for name, values in grid.items():
+        if not values:
+            raise ValueError(f"parameter {name!r} has no values")
+    result: SweepResult | None = None
+    for combo in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        metrics = dict(run_point(dict(params)))
+        if result is None:
+            result = SweepResult(parameters=names, metrics=sorted(metrics))
+        if sorted(metrics) != result.metrics:
+            raise ValueError(
+                f"inconsistent metrics at {params!r}: "
+                f"{sorted(metrics)} vs {result.metrics}"
+            )
+        result.points.append({**params, **metrics})
+    assert result is not None
+    return result

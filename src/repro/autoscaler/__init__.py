@@ -1,0 +1,26 @@
+"""Autoscaling policies: the evaluated baselines and the contribution.
+
+* :class:`~repro.autoscaler.static.StaticPolicy` — user over-provisioning,
+  the implicit Kubernetes default.
+* :class:`~repro.autoscaler.hpa.HorizontalPodAutoscaler` — the stock
+  threshold-based HPA on CPU utilization.
+* :class:`~repro.autoscaler.vpa.VerticalPodAutoscaler` — percentile-based
+  request recommendation, VPA-style.
+* :class:`~repro.autoscaler.adaptive.AdaptiveAutoscaler` — the paper's
+  multi-resource adaptive PID controller with a horizontal escape valve.
+"""
+
+from repro.autoscaler.base import AutoscalerBase
+from repro.autoscaler.static import StaticPolicy
+from repro.autoscaler.hpa import HorizontalPodAutoscaler
+from repro.autoscaler.vpa import VerticalPodAutoscaler
+from repro.autoscaler.adaptive import AdaptiveAutoscaler, HorizontalEscapePolicy
+
+__all__ = [
+    "AutoscalerBase",
+    "StaticPolicy",
+    "HorizontalPodAutoscaler",
+    "VerticalPodAutoscaler",
+    "AdaptiveAutoscaler",
+    "HorizontalEscapePolicy",
+]

@@ -1,0 +1,66 @@
+"""Shared periodic-loop base for autoscaling policies."""
+
+from __future__ import annotations
+
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Engine, PeriodicHandle
+from repro.workloads.base import Application
+
+
+class AutoscalerBase:
+    """Base class: a named policy ticking at a fixed interval.
+
+    Subclasses implement :meth:`reconcile`, called once per interval with
+    each attached application.
+    """
+
+    #: Policy name used in reports.
+    policy_name = "base"
+
+    def __init__(
+        self,
+        engine: Engine,
+        collector: MetricsCollector,
+        *,
+        interval: float = 15.0,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.engine = engine
+        self.collector = collector
+        self.interval = interval
+        self._apps: list[Application] = []
+        self._handle: PeriodicHandle | None = None
+        self.reconciles = 0
+
+    def attach(self, app: Application) -> None:
+        """Put ``app`` under this policy's management."""
+        if app in self._apps:
+            raise ValueError(f"application {app.name!r} already attached")
+        self._apps.append(app)
+
+    def detach(self, app: Application) -> None:
+        try:
+            self._apps.remove(app)
+        except ValueError:
+            pass
+
+    def start(self) -> None:
+        if self._handle is not None:
+            raise RuntimeError("autoscaler already started")
+        self._handle = self.engine.every(self.interval, self._loop, priority=5)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _loop(self) -> None:
+        self.reconciles += 1
+        for app in list(self._apps):
+            if not app.finished:
+                self.reconcile(app)
+
+    def reconcile(self, app: Application) -> None:
+        """Apply the policy to one application. Override."""
+        raise NotImplementedError

@@ -1,0 +1,21 @@
+"""Static over-provisioning baseline.
+
+Models the Kubernetes status quo the paper argues against: the user sizes
+requests once (usually for peak load plus a safety margin) and the
+platform never adjusts them. The policy exists so every experiment runs
+the same harness for every policy; its reconcile is a no-op.
+"""
+
+from __future__ import annotations
+
+from repro.autoscaler.base import AutoscalerBase
+from repro.workloads.base import Application
+
+
+class StaticPolicy(AutoscalerBase):
+    """Never changes allocations or replica counts."""
+
+    policy_name = "static"
+
+    def reconcile(self, app: Application) -> None:
+        """Deliberately does nothing."""

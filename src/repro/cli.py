@@ -1,0 +1,136 @@
+"""Command-line interface.
+
+Run declarative experiments without writing Python::
+
+    python -m repro run experiment.json
+    python -m repro demo --policy adaptive --duration 7200
+    python -m repro policies
+
+``run`` executes a JSON experiment config (see
+:mod:`repro.platform.loader` for the schema) and prints the standard
+summary: per-app PLO violations, utilization, makespans, and costs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.cost import PriceSheet, app_cost
+from repro.analysis.report import format_table
+from repro.cluster.resources import ResourceVector
+from repro.platform.evolve import POLICIES, SCHEDULERS, EvolvePlatform
+from repro.platform.loader import ConfigError, platform_from_json
+from repro.workloads.bigdata import BigDataJob
+from repro.workloads.hpc import HPCJob
+from repro.workloads.microservice import ServiceDemands
+from repro.workloads.plo import LatencyPLO
+from repro.workloads.traces import DiurnalTrace
+
+
+def summarize(platform: EvolvePlatform) -> str:
+    """Human-readable end-of-run report."""
+    result = platform.result()
+    lines = [
+        f"simulated {result.duration / 3600:.2f} h on "
+        f"{len(platform.cluster.nodes)} nodes "
+        f"(scheduler={platform.scheduler.policy_name}, "
+        f"policy={getattr(platform.policy, 'policy_name', '?')})",
+        "",
+    ]
+    rows = []
+    prices = PriceSheet()
+    for name, app in sorted(platform.apps.items()):
+        tracker = result.trackers.get(name)
+        violation = (
+            f"{tracker.violation_fraction:.1%}" if tracker is not None else "-"
+        )
+        if isinstance(app, (BigDataJob, HPCJob)):
+            makespan = result.makespans.get(name)
+            status = f"{makespan:.0f} s" if makespan is not None else "running"
+        else:
+            status = f"{app.replica_count} replicas"
+        cost = app_cost(platform.collector, name, prices=prices)
+        rows.append([name, type(app).__name__, status, violation,
+                     f"${cost.total:.2f}"])
+    lines.append(format_table(
+        ["app", "kind", "status", "PLO violations", "alloc cost"], rows
+    ))
+    util = result.utilization
+    lines.append("")
+    lines.append(
+        f"cluster: mean usage {util.overall_usage:.1%}, "
+        f"mean allocated {util.overall_alloc:.1%}"
+    )
+    if platform.injector.failures:
+        lines.append(f"node failures injected: {len(platform.injector.failures)}")
+    return "\n".join(lines)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    try:
+        platform, duration = platform_from_json(args.config)
+    except (ConfigError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.duration is not None:
+        duration = args.duration
+    platform.run(duration)
+    print(summarize(platform))
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    platform = EvolvePlatform(policy=args.policy, scheduler=args.scheduler)
+    platform.deploy_microservice(
+        "demo",
+        trace=DiurnalTrace(base=150, amplitude=120, period=3600),
+        demands=ServiceDemands(cpu_seconds=0.01, disk_mb=0.05,
+                               base_latency=0.01),
+        allocation=ResourceVector(cpu=0.5, memory=1, disk_bw=25, net_bw=25),
+        plo=LatencyPLO(0.05, window=30),
+        managed=args.policy != "static",
+    )
+    platform.run(args.duration)
+    print(summarize(platform))
+    return 0
+
+
+def cmd_policies(_args: argparse.Namespace) -> int:
+    print("policies  :", ", ".join(POLICIES))
+    print("schedulers:", ", ".join(SCHEDULERS))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EVOLVE reproduction: converged-platform experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a JSON experiment config")
+    run.add_argument("config", help="path to the experiment config")
+    run.add_argument("--duration", type=float, default=None,
+                     help="override the config's duration (seconds)")
+    run.set_defaults(func=cmd_run)
+
+    demo = sub.add_parser("demo", help="run the built-in demo scenario")
+    demo.add_argument("--policy", choices=POLICIES, default="adaptive")
+    demo.add_argument("--scheduler", choices=SCHEDULERS, default="converged")
+    demo.add_argument("--duration", type=float, default=7200.0)
+    demo.set_defaults(func=cmd_demo)
+
+    policies = sub.add_parser("policies", help="list policies and schedulers")
+    policies.set_defaults(func=cmd_policies)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

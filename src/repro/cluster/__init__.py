@@ -1,0 +1,49 @@
+"""Simulated Kubernetes-like cluster substrate.
+
+Provides the objects a real control plane would expose — nodes, pods,
+resource vectors, an API facade with watch events — backed by the
+discrete-event engine instead of real machines. The controller and
+scheduler subsystems interact with the cluster only through
+:class:`~repro.cluster.api.ClusterAPI`, mirroring how the original system
+talks to the Kubernetes API server.
+"""
+
+from repro.cluster.resources import RESOURCES, ResourceVector
+from repro.cluster.pod import Pod, PodPhase, PodSpec, WorkloadClass
+from repro.cluster.node import Node
+from repro.cluster.events import (
+    ClusterEvent,
+    PodEvicted,
+    PodFinished,
+    PodResized,
+    PodScheduled,
+    PodStarted,
+    PodSubmitted,
+)
+from repro.cluster.cluster import Cluster, ClusterError
+from repro.cluster.api import ClusterAPI
+from repro.cluster.chaos import ChaosMonkey, FailureInjector
+from repro.cluster.quota import QuotaManager
+
+__all__ = [
+    "ChaosMonkey",
+    "FailureInjector",
+    "QuotaManager",
+    "RESOURCES",
+    "ResourceVector",
+    "Pod",
+    "PodPhase",
+    "PodSpec",
+    "WorkloadClass",
+    "Node",
+    "Cluster",
+    "ClusterError",
+    "ClusterAPI",
+    "ClusterEvent",
+    "PodSubmitted",
+    "PodScheduled",
+    "PodStarted",
+    "PodFinished",
+    "PodEvicted",
+    "PodResized",
+]

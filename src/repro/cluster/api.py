@@ -1,0 +1,123 @@
+"""Kube-client-style facade over the simulated cluster.
+
+Control-plane components (schedulers, autoscalers, workload drivers) are
+written against this API only — the same narrow surface a real deployment
+would get from the Kubernetes API server — so they would port to a real
+client with mechanical changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type, TypeVar
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.events import ClusterEvent
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod, PodPhase, PodSpec, WorkloadClass
+from repro.cluster.resources import ResourceVector
+
+E = TypeVar("E", bound=ClusterEvent)
+
+
+class ClusterAPI:
+    """Narrow, kube-like verbs over a :class:`~repro.cluster.cluster.Cluster`."""
+
+    def __init__(self, cluster: Cluster):
+        self._cluster = cluster
+
+    # -- time ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current cluster (simulated) time in seconds."""
+        return self._cluster.now
+
+    # -- pods -------------------------------------------------------------------
+
+    def create_pod(self, spec: PodSpec) -> Pod:
+        """Submit a pod for scheduling."""
+        return self._cluster.submit(spec)
+
+    def delete_pod(self, name: str, *, reason: str = "deleted") -> None:
+        """Evict/terminate a pod regardless of phase."""
+        self._cluster.evict(name, reason=reason)
+
+    def get_pod(self, name: str) -> Pod:
+        return self._cluster.get_pod(name)
+
+    def list_pods(
+        self,
+        *,
+        app: str | None = None,
+        phase: PodPhase | None = None,
+        workload_class: WorkloadClass | None = None,
+    ) -> list[Pod]:
+        """List pods with optional field selectors."""
+        pods = list(self._cluster.pods.values())
+        if app is not None:
+            pods = [p for p in pods if p.app == app]
+        if phase is not None:
+            pods = [p for p in pods if p.phase == phase]
+        if workload_class is not None:
+            pods = [p for p in pods if p.spec.workload_class == workload_class]
+        return pods
+
+    def pending_pods(self) -> list[Pod]:
+        return self._cluster.pending_pods()
+
+    def running_pods(self, app: str) -> list[Pod]:
+        return self._cluster.running_pods_of_app(app)
+
+    # -- scheduling & scaling verbs ----------------------------------------------
+
+    def bind_pod(self, pod_name: str, node_name: str) -> None:
+        """Bind a pending pod to a node (scheduler verb)."""
+        self._cluster.bind(pod_name, node_name)
+
+    def quota_allows_bind(self, pod_name: str) -> bool:
+        """Whether tenant quota permits binding this pod now."""
+        return self._cluster.quota_allows_bind(pod_name)
+
+    def quota_allows_gang(self, pod_names: list[str]) -> bool:
+        """Whether tenant quota permits binding all these pods together."""
+        return self._cluster.quota_allows_bind_all(pod_names)
+
+    def set_quotas(self, manager) -> None:
+        """Install a :class:`~repro.cluster.quota.QuotaManager`."""
+        self._cluster.quotas = manager
+
+    def patch_pod_allocation(self, pod_name: str, allocation: ResourceVector) -> bool:
+        """Request an in-place vertical resize; False if it cannot fit."""
+        return self._cluster.resize_pod(pod_name, allocation)
+
+    def can_resize(self, pod_name: str, allocation: ResourceVector) -> bool:
+        return self._cluster.can_resize(pod_name, allocation)
+
+    def mark_finished(self, pod_name: str, *, succeeded: bool = True) -> None:
+        """Workload-driver verb: report pod completion."""
+        self._cluster.finish(pod_name, succeeded=succeeded)
+
+    # -- nodes ---------------------------------------------------------------------
+
+    def list_nodes(self) -> list[Node]:
+        return list(self._cluster.nodes.values())
+
+    def get_node(self, name: str) -> Node:
+        return self._cluster.get_node(name)
+
+    def total_allocatable(self) -> ResourceVector:
+        return self._cluster.total_allocatable()
+
+    def total_allocated(self) -> ResourceVector:
+        return self._cluster.total_allocated()
+
+    def total_usage(self) -> ResourceVector:
+        return self._cluster.total_usage()
+
+    # -- watch -----------------------------------------------------------------------
+
+    def watch(
+        self, event_type: Type[E], handler: Callable[[E], None]
+    ) -> Callable[[], None]:
+        """Subscribe to cluster events; returns an unsubscribe callable."""
+        return self._cluster.events.subscribe(event_type, handler)

@@ -1,0 +1,147 @@
+"""Failure injection: node crashes and recoveries.
+
+Real-cluster evaluations survive machine loss; the simulator models it so
+the control plane's recovery path (pod eviction → self-healing resubmit →
+rescheduling → controller re-convergence) can be exercised and tested.
+
+A failed node evicts every resident pod and refuses new bindings until it
+recovers. The :class:`ChaosMonkey` drives random failures from a seeded
+RNG stream for soak experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster, ClusterError
+from repro.cluster.node import Node
+from repro.cluster.resources import ResourceVector
+from repro.sim.engine import Engine, PeriodicHandle
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """Record of one injected failure."""
+
+    time: float
+    node_name: str
+    evicted_pods: tuple[str, ...]
+
+
+class FailureInjector:
+    """Deterministic fail/recover verbs on a cluster.
+
+    Failing a node zeroes its allocatable capacity (so schedulers'
+    ``can_fit`` rejects it naturally) and evicts its pods with reason
+    ``node-failure``. Recovery restores the original allocatable.
+    """
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self._saved_allocatable: dict[str, ResourceVector] = {}
+        self.failures: list[NodeFailure] = []
+        self.recoveries = 0
+
+    def is_failed(self, node_name: str) -> bool:
+        return node_name in self._saved_allocatable
+
+    def failed_nodes(self) -> list[str]:
+        return sorted(self._saved_allocatable)
+
+    def fail_node(self, node_name: str) -> NodeFailure:
+        """Crash a node, evicting everything on it."""
+        if self.is_failed(node_name):
+            raise ClusterError(f"node {node_name!r} is already failed")
+        node = self.cluster.get_node(node_name)
+        evicted = tuple(sorted(node.pods))
+        for pod_name in evicted:
+            self.cluster.evict(pod_name, reason="node-failure")
+        self._saved_allocatable[node_name] = node.allocatable
+        node.allocatable = ResourceVector.zero()
+        failure = NodeFailure(self.cluster.now, node_name, evicted)
+        self.failures.append(failure)
+        return failure
+
+    def recover_node(self, node_name: str) -> None:
+        """Bring a failed node back with its full capacity."""
+        if not self.is_failed(node_name):
+            raise ClusterError(f"node {node_name!r} is not failed")
+        node = self.cluster.get_node(node_name)
+        node.allocatable = self._saved_allocatable.pop(node_name)
+        self.recoveries += 1
+
+    def healthy_nodes(self) -> list[Node]:
+        return [
+            n for n in self.cluster.nodes.values() if not self.is_failed(n.name)
+        ]
+
+
+class ChaosMonkey:
+    """Random node failures on a Poisson clock, with fixed repair time.
+
+    Parameters
+    ----------
+    mtbf:
+        Cluster-wide mean time between failures (s).
+    repair_time:
+        Seconds a failed node stays down.
+    max_concurrent_failures:
+        Never take down more than this many nodes at once (keeps soak
+        runs from killing the whole cluster).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        injector: FailureInjector,
+        rng: np.random.Generator,
+        *,
+        mtbf: float = 3600.0,
+        repair_time: float = 300.0,
+        max_concurrent_failures: int = 1,
+    ):
+        if mtbf <= 0 or repair_time <= 0:
+            raise ValueError("mtbf and repair_time must be positive")
+        if max_concurrent_failures < 1:
+            raise ValueError("max_concurrent_failures must be ≥ 1")
+        self.engine = engine
+        self.injector = injector
+        self.rng = rng
+        self.mtbf = mtbf
+        self.repair_time = repair_time
+        self.max_concurrent_failures = max_concurrent_failures
+        self._armed = False
+
+    def start(self) -> None:
+        if self._armed:
+            raise RuntimeError("chaos monkey already started")
+        self._armed = True
+        self._arm_next()
+
+    def stop(self) -> None:
+        self._armed = False
+
+    def _arm_next(self) -> None:
+        delay = float(self.rng.exponential(self.mtbf))
+        self.engine.schedule(max(1.0, delay), self._strike)
+
+    def _strike(self) -> None:
+        if not self._armed:
+            return
+        down = self.injector.failed_nodes()
+        candidates = [
+            n.name for n in self.injector.healthy_nodes()
+        ]
+        if candidates and len(down) < self.max_concurrent_failures:
+            victim = candidates[int(self.rng.integers(len(candidates)))]
+            self.injector.fail_node(victim)
+            self.engine.schedule(
+                self.repair_time, lambda: self._repair(victim)
+            )
+        self._arm_next()
+
+    def _repair(self, node_name: str) -> None:
+        if self.injector.is_failed(node_name):
+            self.injector.recover_node(node_name)

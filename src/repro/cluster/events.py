@@ -1,0 +1,106 @@
+"""Cluster watch events.
+
+The control plane components (schedulers, autoscalers, workload drivers)
+observe the cluster through a watch stream, mirroring the Kubernetes
+informer pattern. Events are plain frozen dataclasses; the
+:class:`EventBus` dispatches them synchronously in subscription order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Type, TypeVar
+
+from repro.cluster.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """Base class for all watch events."""
+
+    time: float
+    pod_name: str
+
+
+@dataclass(frozen=True)
+class PodSubmitted(ClusterEvent):
+    """A pod entered the pending queue."""
+
+    app: str
+
+
+@dataclass(frozen=True)
+class PodScheduled(ClusterEvent):
+    """A pod was bound to a node."""
+
+    node_name: str
+
+
+@dataclass(frozen=True)
+class PodStarted(ClusterEvent):
+    """A pod's container finished starting and began running."""
+
+    node_name: str
+
+
+@dataclass(frozen=True)
+class PodFinished(ClusterEvent):
+    """A pod reached SUCCEEDED or FAILED."""
+
+    succeeded: bool
+
+
+@dataclass(frozen=True)
+class PodEvicted(ClusterEvent):
+    """A pod was evicted (preemption or restart-based resize)."""
+
+    reason: str
+
+
+@dataclass(frozen=True)
+class PodResized(ClusterEvent):
+    """A pod's allocation changed in place (vertical scaling)."""
+
+    old_allocation: ResourceVector
+    new_allocation: ResourceVector
+
+
+E = TypeVar("E", bound=ClusterEvent)
+
+
+class EventBus:
+    """Synchronous pub/sub for cluster events.
+
+    Subscribers register per event type; a subscriber for a base class
+    receives subclass events too.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: list[tuple[type, Callable[[ClusterEvent], None]]] = []
+        self.published = 0
+
+    def subscribe(
+        self, event_type: Type[E], handler: Callable[[E], None]
+    ) -> Callable[[], None]:
+        """Register ``handler`` for events of ``event_type``.
+
+        Returns an unsubscribe callable.
+        """
+        entry = (event_type, handler)
+        self._subscribers.append(entry)  # type: ignore[arg-type]
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(entry)  # type: ignore[arg-type]
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, event: ClusterEvent) -> None:
+        """Deliver ``event`` to all matching subscribers, in order."""
+        self.published += 1
+        # Copy: a handler may subscribe/unsubscribe during dispatch.
+        for event_type, handler in list(self._subscribers):
+            if isinstance(event, event_type):
+                handler(event)

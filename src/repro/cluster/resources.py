@@ -1,0 +1,194 @@
+"""Multi-dimensional resource vectors.
+
+The controller manages four resources per application, following the
+multi-resource control design the paper's calibration calls out:
+
+* ``cpu`` — cores
+* ``memory`` — GiB
+* ``disk_bw`` — disk I/O bandwidth, MB/s
+* ``net_bw`` — network bandwidth, MB/s
+
+:class:`ResourceVector` is the value type used for node capacities, pod
+requests/allocations, and measured usage. It is immutable; arithmetic
+returns new vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+#: Canonical resource dimension names, in controller order.
+RESOURCES: tuple[str, ...] = ("cpu", "memory", "disk_bw", "net_bw")
+
+
+class ResourceVector:
+    """Immutable 4-dimensional resource quantity.
+
+    Supports elementwise arithmetic (``+``, ``-``, scalar ``*`` / ``/``),
+    elementwise comparisons via :meth:`fits_within`, and convenience
+    constructors. Negative intermediate values are permitted (useful for
+    headroom math); use :meth:`clamp_nonnegative` before treating a vector
+    as a physical quantity.
+    """
+
+    __slots__ = ("cpu", "memory", "disk_bw", "net_bw")
+
+    def __init__(
+        self,
+        cpu: float = 0.0,
+        memory: float = 0.0,
+        disk_bw: float = 0.0,
+        net_bw: float = 0.0,
+    ):
+        object.__setattr__(self, "cpu", float(cpu))
+        object.__setattr__(self, "memory", float(memory))
+        object.__setattr__(self, "disk_bw", float(disk_bw))
+        object.__setattr__(self, "net_bw", float(net_bw))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ResourceVector is immutable")
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "ResourceVector":
+        """The all-zeros vector."""
+        return cls()
+
+    @classmethod
+    def uniform(cls, value: float) -> "ResourceVector":
+        """A vector with every dimension set to ``value``."""
+        return cls(value, value, value, value)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "ResourceVector":
+        """Build from a mapping; missing dimensions default to 0.
+
+        Raises ``KeyError`` on unknown dimension names so typos fail loudly.
+        """
+        unknown = set(data) - set(RESOURCES)
+        if unknown:
+            raise KeyError(f"unknown resource dimensions: {sorted(unknown)}")
+        return cls(**{k: float(v) for k, v in data.items()})
+
+    # -- accessors ---------------------------------------------------------
+
+    def __getitem__(self, name: str) -> float:
+        if name not in RESOURCES:
+            raise KeyError(f"unknown resource dimension: {name!r}")
+        return getattr(self, name)
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view, keyed by :data:`RESOURCES` names."""
+        return {name: getattr(self, name) for name in RESOURCES}
+
+    def __iter__(self) -> Iterator[float]:
+        return (getattr(self, name) for name in RESOURCES)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _combine(self, other: "ResourceVector", op) -> "ResourceVector":
+        return ResourceVector(
+            *(op(getattr(self, n), getattr(other, n)) for n in RESOURCES)
+        )
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return self._combine(other, lambda a, b: a + b)
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return self._combine(other, lambda a, b: a - b)
+
+    def __mul__(self, scalar: float) -> "ResourceVector":
+        return ResourceVector(*(v * scalar for v in self))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "ResourceVector":
+        return ResourceVector(*(v / scalar for v in self))
+
+    def elementwise_mul(self, other: "ResourceVector") -> "ResourceVector":
+        """Hadamard product, e.g. scaling each dimension by its own factor."""
+        return self._combine(other, lambda a, b: a * b)
+
+    def elementwise_min(self, other: "ResourceVector") -> "ResourceVector":
+        return self._combine(other, min)
+
+    def elementwise_max(self, other: "ResourceVector") -> "ResourceVector":
+        return self._combine(other, max)
+
+    def clamp_nonnegative(self) -> "ResourceVector":
+        """Replace negative components with 0."""
+        return ResourceVector(*(max(0.0, v) for v in self))
+
+    def clamp(self, lo: "ResourceVector", hi: "ResourceVector") -> "ResourceVector":
+        """Clamp each dimension into ``[lo, hi]``."""
+        return self.elementwise_max(lo).elementwise_min(hi)
+
+    def scale(self, factors: Mapping[str, float]) -> "ResourceVector":
+        """Scale named dimensions by per-dimension factors; others unchanged."""
+        values = self.as_dict()
+        for name, factor in factors.items():
+            if name not in RESOURCES:
+                raise KeyError(f"unknown resource dimension: {name!r}")
+            values[name] *= factor
+        return ResourceVector(**values)
+
+    def replace(self, **updates: float) -> "ResourceVector":
+        """Return a copy with the given dimensions overwritten."""
+        values = self.as_dict()
+        for name, value in updates.items():
+            if name not in RESOURCES:
+                raise KeyError(f"unknown resource dimension: {name!r}")
+            values[name] = float(value)
+        return ResourceVector(**values)
+
+    # -- predicates / reductions ----------------------------------------------
+
+    def fits_within(self, other: "ResourceVector", *, tolerance: float = 1e-9) -> bool:
+        """True when every dimension is ≤ the other's (within tolerance)."""
+        return all(
+            getattr(self, n) <= getattr(other, n) + tolerance for n in RESOURCES
+        )
+
+    def is_zero(self, *, tolerance: float = 1e-12) -> bool:
+        return all(abs(v) <= tolerance for v in self)
+
+    def any_negative(self, *, tolerance: float = 1e-9) -> bool:
+        return any(v < -tolerance for v in self)
+
+    def total_fraction_of(self, capacity: "ResourceVector") -> dict[str, float]:
+        """Per-dimension fraction of ``capacity`` (0 where capacity is 0)."""
+        result = {}
+        for name in RESOURCES:
+            cap = getattr(capacity, name)
+            result[name] = (getattr(self, name) / cap) if cap > 0 else 0.0
+        return result
+
+    def dominant_share(self, capacity: "ResourceVector") -> float:
+        """Max fraction across dimensions (DRF-style dominant share)."""
+        return max(self.total_fraction_of(capacity).values(), default=0.0)
+
+    def bottleneck(self, capacity: "ResourceVector") -> str:
+        """Name of the dimension with the highest fraction of capacity."""
+        fractions = self.total_fraction_of(capacity)
+        return max(RESOURCES, key=lambda n: fractions[n])
+
+    # -- dunder plumbing ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResourceVector):
+            return NotImplemented
+        return all(getattr(self, n) == getattr(other, n) for n in RESOURCES)
+
+    def __hash__(self) -> int:
+        return hash(tuple(self))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}={getattr(self, n):g}" for n in RESOURCES)
+        return f"ResourceVector({parts})"
+
+    def approx_equal(self, other: "ResourceVector", *, tolerance: float = 1e-9) -> bool:
+        """Elementwise closeness check for tests and invariants."""
+        return all(
+            abs(getattr(self, n) - getattr(other, n)) <= tolerance for n in RESOURCES
+        )

@@ -1,0 +1,118 @@
+"""Online gain adaptation.
+
+Fixed PID gains tuned for one workload oscillate on a twitchier one and
+crawl on a heavier one. The tuner watches the recent error signal and
+rescales the gains between control periods:
+
+* **Oscillation** (frequent error sign flips with meaningful amplitude)
+  → multiply the scale down, damping the loop.
+* **Sluggishness** (error stuck on one side of the deadband for many
+  consecutive periods) → multiply the scale up, accelerating convergence.
+* Otherwise the scale relaxes slowly back toward 1.0, so temporary
+  adaptations do not become permanent mis-tunings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class AdaptiveGainTuner:
+    """Heuristic gain scheduler driven by the error history.
+
+    Parameters
+    ----------
+    window:
+        Number of recent control periods inspected.
+    deadband:
+        |error| below this is treated as converged (no adaptation
+        pressure in either direction).
+    oscillation_flips:
+        Minimum sign flips within the window to diagnose oscillation.
+    sluggish_periods:
+        Consecutive same-sign, out-of-deadband periods to diagnose a
+        too-slow loop.
+    shrink / grow:
+        Multiplicative scale adjustments for the two diagnoses.
+    bounds:
+        Inclusive (min, max) clamp on the scale.
+    relax:
+        Per-update pull of the scale back toward 1.0 in [0, 1].
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 8,
+        deadband: float = 0.05,
+        oscillation_flips: int = 3,
+        sluggish_periods: int = 4,
+        shrink: float = 0.7,
+        grow: float = 1.3,
+        bounds: tuple[float, float] = (0.2, 5.0),
+        relax: float = 0.02,
+    ):
+        if window < 2:
+            raise ValueError("window must be ≥ 2")
+        if not 0 < shrink < 1 or grow <= 1:
+            raise ValueError("need 0 < shrink < 1 and grow > 1")
+        lo, hi = bounds
+        if not 0 < lo <= 1 <= hi:
+            raise ValueError("bounds must bracket 1.0 with lo > 0")
+        if not 0 <= relax <= 1:
+            raise ValueError("relax must be in [0, 1]")
+        self.window = window
+        self.deadband = deadband
+        self.oscillation_flips = oscillation_flips
+        self.sluggish_periods = sluggish_periods
+        self.shrink = shrink
+        self.grow = grow
+        self.bounds = (lo, hi)
+        self.relax = relax
+        self.scale = 1.0
+        self._errors: deque[float] = deque(maxlen=window)
+        self.oscillation_events = 0
+        self.sluggish_events = 0
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def _sign_flips(self) -> int:
+        """Sign changes among out-of-deadband errors in the window."""
+        significant = [e for e in self._errors if abs(e) > self.deadband]
+        flips = 0
+        for prev, cur in zip(significant, significant[1:]):
+            if prev * cur < 0:
+                flips += 1
+        return flips
+
+    def _sluggish(self) -> bool:
+        """True when the last N errors sit on the same side, out of band."""
+        if len(self._errors) < self.sluggish_periods:
+            return False
+        recent = list(self._errors)[-self.sluggish_periods:]
+        if any(abs(e) <= self.deadband for e in recent):
+            return False
+        return all(e > 0 for e in recent) or all(e < 0 for e in recent)
+
+    # -- update ----------------------------------------------------------------------
+
+    def update(self, error: float) -> float:
+        """Feed one control-period error; returns the new gain scale."""
+        self._errors.append(float(error))
+        lo, hi = self.bounds
+        if self._sign_flips() >= self.oscillation_flips:
+            self.scale *= self.shrink
+            self.oscillation_events += 1
+            self._errors.clear()  # re-observe under the new gains
+        elif self._sluggish():
+            self.scale *= self.grow
+            self.sluggish_events += 1
+            self._errors.clear()
+        else:
+            self.scale += (1.0 - self.scale) * self.relax
+        self.scale = max(lo, min(hi, self.scale))
+        return self.scale
+
+    def reset(self) -> None:
+        self.scale = 1.0
+        self._errors.clear()

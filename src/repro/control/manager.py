@@ -1,0 +1,196 @@
+"""The control loop: evaluate PLOs, decide, actuate.
+
+One :class:`ControlLoopManager` runs per experiment. Every control period
+it, for each registered application:
+
+1. evaluates the application's PLO against the metrics pipeline,
+2. builds the saturation snapshot from scraped usage/allocation,
+3. asks the application's :class:`~repro.control.multiresource.MultiResourceController`
+   for a decision,
+4. actuates vertically (in-place pod resizes) and, through an optional
+   horizontal policy, by adding/removing replicas when vertical scaling
+   rails out,
+5. records the loop's internals as metrics series for the evaluation
+   harness (error, output, gain scale, decisions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.cluster.resources import RESOURCES, ResourceVector
+from repro.control.estimator import SaturationSnapshot
+from repro.control.multiresource import ControlDecision, MultiResourceController
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Engine, PeriodicHandle
+from repro.workloads.base import Application
+
+
+class HorizontalPolicy(Protocol):
+    """Hook deciding replica-count changes after the vertical decision."""
+
+    def adjust(
+        self,
+        app: Application,
+        decision: ControlDecision,
+        controller: MultiResourceController,
+    ) -> int:
+        """Return the desired replica count (may equal the current one)."""
+        ...
+
+
+@dataclass
+class _Entry:
+    app: Application
+    controller: MultiResourceController
+    horizontal: HorizontalPolicy | None
+    feedforward: object | None = None  # optional FeedforwardScaler
+    last_decision: ControlDecision | None = None
+    skipped: int = 0
+    stats: dict[str, int] = field(
+        default_factory=lambda: {"grow": 0, "reclaim": 0, "hold": 0}
+    )
+
+
+class ControlLoopManager:
+    """Periodic controller executor over registered applications.
+
+    Parameters
+    ----------
+    interval:
+        Control period in seconds (the dt fed to each PID).
+    usage_window:
+        Trailing window for usage averaging when building saturation
+        snapshots; defaults to the control period.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        collector: MetricsCollector,
+        *,
+        interval: float = 10.0,
+        usage_window: float | None = None,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.engine = engine
+        self.collector = collector
+        self.interval = interval
+        self.usage_window = usage_window or interval
+        self._entries: dict[str, _Entry] = {}
+        self._handle: PeriodicHandle | None = None
+        self.loops = 0
+
+    # -- registration ------------------------------------------------------------
+
+    def register(
+        self,
+        app: Application,
+        controller: MultiResourceController,
+        *,
+        horizontal: HorizontalPolicy | None = None,
+        feedforward=None,
+    ) -> None:
+        """Manage ``app`` (which must carry a ``plo``) with ``controller``."""
+        if app.plo is None:
+            raise ValueError(f"application {app.name!r} has no PLO attached")
+        if app.name in self._entries:
+            raise ValueError(f"application {app.name!r} already registered")
+        self._entries[app.name] = _Entry(app, controller, horizontal, feedforward)
+
+    def unregister(self, app_name: str) -> None:
+        self._entries.pop(app_name, None)
+
+    def entry_stats(self, app_name: str) -> dict[str, int]:
+        """Decision counts for one application (for tests/reports)."""
+        return dict(self._entries[app_name].stats)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._handle is not None:
+            raise RuntimeError("manager already started")
+        self._handle = self.engine.every(self.interval, self.run_once, priority=5)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # -- the loop ----------------------------------------------------------------------
+
+    def _saturation(self, app: Application) -> SaturationSnapshot:
+        """Saturation from scraped series, falling back to live pods."""
+        prefix = app.metric_prefix()
+        usage = {}
+        alloc = {}
+        for name in RESOURCES:
+            usage[name] = self.collector.window_mean(
+                f"{prefix}/usage/{name}", self.usage_window
+            )
+            alloc[name] = self.collector.latest(f"{prefix}/alloc/{name}")
+        if any(v is None for v in usage.values()) or any(
+            v is None or v <= 0 for v in alloc.values()
+        ):
+            total_usage = ResourceVector.zero()
+            total_alloc = ResourceVector.zero()
+            for pod in app.running_pods():
+                total_usage = total_usage + pod.usage
+                total_alloc = total_alloc + pod.allocation
+            return SaturationSnapshot.from_vectors(total_usage, total_alloc)
+        fractions = {
+            name: (usage[name] / alloc[name] if alloc[name] else 0.0)
+            for name in RESOURCES
+        }
+        return SaturationSnapshot(fractions)
+
+    def run_once(self) -> None:
+        """Execute one control period over all registered applications."""
+        now = self.engine.now
+        self.loops += 1
+        for entry in list(self._entries.values()):
+            app = entry.app
+            if app.finished:
+                continue
+            status = app.plo.evaluate(self.collector, app.name, now)
+            prefix = f"control/{app.name}"
+            if status.error is None:
+                entry.skipped += 1
+                continue
+            saturation = self._saturation(app)
+            ff = 0.0
+            if entry.feedforward is not None:
+                ff = entry.feedforward.signal(app, now)
+            decision = entry.controller.decide(
+                status.error, saturation, app.current_allocation(),
+                self.interval, feedforward=ff,
+            )
+            if (
+                decision.action == "reclaim"
+                and entry.feedforward is not None
+                and entry.feedforward.reclaim_suppressed(app.name, now)
+            ):
+                decision = ControlDecision(
+                    "hold", app.current_allocation(), decision.error,
+                    decision.output, decision.gain_scale, decision.weights,
+                )
+            entry.last_decision = decision
+            entry.stats[decision.action] += 1
+
+            if decision.changed:
+                app.set_target_allocation(decision.new_allocation)
+            if entry.horizontal is not None:
+                desired = entry.horizontal.adjust(app, decision, entry.controller)
+                if desired != app.replica_count:
+                    app.scale_to(desired)
+
+            self.collector.record(f"{prefix}/error", decision.error)
+            self.collector.record(f"{prefix}/output", decision.output)
+            self.collector.record(f"{prefix}/gain_scale", decision.gain_scale)
+            self.collector.record(
+                f"{prefix}/action",
+                {"hold": 0.0, "grow": 1.0, "reclaim": -1.0}[decision.action],
+            )
+            self.collector.record(f"{prefix}/replicas", float(app.replica_count))

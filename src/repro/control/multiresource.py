@@ -1,0 +1,212 @@
+"""Multi-resource controller: one PID, per-dimension actuation.
+
+This is the headline mechanism: a per-application PID on the normalized
+PLO error whose scalar output is *distributed* across CPU, memory, disk
+bandwidth, and network bandwidth by the bottleneck estimator. Scale-up
+flows to saturated dimensions; reclaim flows to dimensions with headroom,
+so the controller simultaneously fixes violations and returns the
+over-provisioned slack that inflates cluster cost.
+
+The ablations in R-T3 are configuration points here: ``adaptive=False``
+freezes the gain scale, and ``dimensions=("cpu",)`` reduces it to the
+classic single-resource controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.resources import RESOURCES, ResourceVector
+from repro.control.adaptive import AdaptiveGainTuner
+from repro.control.estimator import BottleneckEstimator, SaturationSnapshot
+from repro.control.pid import PIDController, PIDGains
+
+
+@dataclass(frozen=True)
+class AllocationBounds:
+    """Per-replica allocation floor and ceiling."""
+
+    minimum: ResourceVector
+    maximum: ResourceVector
+
+    def __post_init__(self) -> None:
+        if not self.minimum.fits_within(self.maximum):
+            raise ValueError("minimum allocation exceeds maximum")
+        if self.minimum.any_negative():
+            raise ValueError("minimum allocation must be non-negative")
+
+    def clamp(self, allocation: ResourceVector) -> ResourceVector:
+        return allocation.clamp(self.minimum, self.maximum)
+
+    def at_ceiling(self, allocation: ResourceVector, dimension: str,
+                   *, tolerance: float = 1e-6) -> bool:
+        """Whether ``dimension`` is pinned at the ceiling."""
+        return allocation[dimension] >= self.maximum[dimension] - tolerance
+
+    def near_floor(self, allocation: ResourceVector, *, slack: float = 1.25) -> bool:
+        """Whether every dimension is within ``slack``× of the floor."""
+        for name in RESOURCES:
+            floor = self.minimum[name]
+            if floor <= 0:
+                continue
+            if allocation[name] > floor * slack:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """Outcome of one control period for one application."""
+
+    action: str  # "grow" | "reclaim" | "hold"
+    new_allocation: ResourceVector
+    error: float
+    output: float
+    gain_scale: float
+    weights: dict[str, float]
+
+    @property
+    def changed(self) -> bool:
+        return self.action != "hold"
+
+
+class MultiResourceController:
+    """Per-application adaptive multi-resource PID controller.
+
+    Parameters
+    ----------
+    gains:
+        Baseline PID gains on the normalized PLO error.
+    bounds:
+        Per-replica allocation clamp.
+    deadband:
+        |error| below which no actuation happens (churn suppression).
+    adaptive:
+        Enable online gain adaptation (ablation switch).
+    dimensions:
+        Resource dimensions this controller may actuate; others are left
+        untouched (``("cpu",)`` gives the single-resource ablation).
+    reclaim_caution:
+        Multiplier < 1 damping scale-down relative to scale-up, because
+        under-shooting an allocation hurts users while over-shooting only
+        costs efficiency.
+    error_clamp:
+        Inclusive (lo, hi) clamp applied to the raw PLO error before the
+        PID and tuner see it. Latency ratios explode once a service is
+        saturated (queues make measured/target unbounded), and an
+        unbounded error would make every controller slam its output rail
+        regardless of gains; a bounded error keeps the loop in its linear
+        regime.
+    """
+
+    def __init__(
+        self,
+        gains: PIDGains,
+        bounds: AllocationBounds,
+        *,
+        deadband: float = 0.1,
+        adaptive: bool = True,
+        dimensions: Sequence[str] = RESOURCES,
+        reclaim_caution: float = 0.5,
+        estimator: BottleneckEstimator | None = None,
+        tuner: AdaptiveGainTuner | None = None,
+        output_limits: tuple[float, float] = (-0.5, 1.0),
+        error_clamp: tuple[float, float] = (-1.0, 3.0),
+    ):
+        unknown = set(dimensions) - set(RESOURCES)
+        if unknown:
+            raise ValueError(f"unknown dimensions: {sorted(unknown)}")
+        if not dimensions:
+            raise ValueError("need at least one controlled dimension")
+        if deadband < 0:
+            raise ValueError("deadband must be non-negative")
+        if not 0 < reclaim_caution <= 1:
+            raise ValueError("reclaim_caution must be in (0, 1]")
+        if not error_clamp[0] < 0 < error_clamp[1]:
+            raise ValueError("error_clamp must bracket zero")
+        self.pid = PIDController(gains, output_limits=output_limits)
+        self.bounds = bounds
+        self.deadband = deadband
+        self.adaptive = adaptive
+        self.dimensions = tuple(dimensions)
+        self.reclaim_caution = reclaim_caution
+        self.estimator = estimator or BottleneckEstimator()
+        self.tuner = tuner or AdaptiveGainTuner(deadband=deadband)
+        self.error_clamp = error_clamp
+        self.decisions = 0
+
+    def reset(self) -> None:
+        self.pid.reset()
+        self.tuner.reset()
+
+    def decide(
+        self,
+        error: float,
+        saturation: SaturationSnapshot,
+        current: ResourceVector,
+        dt: float,
+        *,
+        feedforward: float = 0.0,
+    ) -> ControlDecision:
+        """One control period: error + saturation → allocation target.
+
+        ``feedforward`` is an additive, non-negative output contribution
+        (load anticipation); it can trigger a grow even inside the error
+        deadband.
+        """
+        self.decisions += 1
+        if feedforward < 0:
+            raise ValueError("feedforward must be non-negative")
+        error = max(self.error_clamp[0], min(self.error_clamp[1], error))
+        if self.adaptive:
+            self.pid.gain_scale = self.tuner.update(error)
+        output = self.pid.update(error, dt)
+        if feedforward > 0:
+            # An anticipated surge invalidates the feedback's "overachieving"
+            # reading (it is about to be stale): suppress reclaim and add
+            # the anticipatory growth on top.
+            output = min(
+                self.pid.output_limits[1], max(0.0, output) + feedforward
+            )
+        gain_scale = self.pid.gain_scale
+
+        if feedforward <= 0 and abs(error) <= self.deadband:
+            return ControlDecision(
+                "hold", current, error, output, gain_scale, {}
+            )
+
+        if output > 0:
+            weights = self.estimator.grow_weights(saturation)
+            action = "grow"
+            effort = output
+        elif output < 0:
+            weights = self.estimator.reclaim_weights(saturation)
+            action = "reclaim"
+            effort = output * self.reclaim_caution
+        else:
+            return ControlDecision(
+                "hold", current, error, output, gain_scale, {}
+            )
+
+        # Restrict actuation to the controlled dimensions.
+        weights = {
+            name: (weights.get(name, 0.0) if name in self.dimensions else 0.0)
+            for name in RESOURCES
+        }
+        if all(w == 0.0 for w in weights.values()):
+            return ControlDecision(
+                "hold", current, error, output, gain_scale, weights
+            )
+
+        factors = {
+            name: max(0.05, 1.0 + effort * weight)
+            for name, weight in weights.items()
+        }
+        proposed = current.scale(factors)
+        clamped = self.bounds.clamp(proposed)
+        if clamped.approx_equal(current, tolerance=1e-9):
+            return ControlDecision(
+                "hold", current, error, output, gain_scale, weights
+            )
+        return ControlDecision(action, clamped, error, output, gain_scale, weights)

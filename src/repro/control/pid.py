@@ -1,0 +1,157 @@
+"""Discrete PID controller with the standard production hardening.
+
+* **Anti-windup** — the integral term is clamped, and integration is
+  suspended while the output is saturated in the same direction
+  (conditional integration), so long violations do not bank unbounded
+  corrections.
+* **Filtered derivative** — the derivative acts on a first-order-filtered
+  error, taming scrape-noise amplification.
+* **Output clamping** — actuation is bounded to what the cluster can
+  apply in one control period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PIDGains:
+    """Proportional / integral / derivative gains."""
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kp < 0 or self.ki < 0 or self.kd < 0:
+            raise ValueError("gains must be non-negative")
+
+    def scaled(self, factor: float) -> "PIDGains":
+        """Gains multiplied by ``factor`` (adaptive tuning hook)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return PIDGains(self.kp * factor, self.ki * factor, self.kd * factor)
+
+
+class PIDController:
+    """Classic discrete PID on an externally-computed error signal.
+
+    Sign convention follows :class:`~repro.workloads.plo.PLOStatus`:
+    positive error means the objective is violated and the output should
+    push allocations *up*; negative error means overachievement and the
+    output may reclaim.
+
+    Parameters
+    ----------
+    gains:
+        Baseline gains; :attr:`gain_scale` multiplies them at runtime.
+    output_limits:
+        Inclusive (lo, hi) clamp on the control signal.
+    integral_limit:
+        Absolute clamp on the integral term's *contribution* (after ki).
+    derivative_alpha:
+        Smoothing factor in (0, 1] of the derivative's error filter;
+        1.0 disables filtering.
+    """
+
+    def __init__(
+        self,
+        gains: PIDGains,
+        *,
+        output_limits: tuple[float, float] = (-1.0, 1.0),
+        integral_limit: float = 1.0,
+        derivative_alpha: float = 0.3,
+    ):
+        lo, hi = output_limits
+        if lo >= hi:
+            raise ValueError("output_limits must satisfy lo < hi")
+        if integral_limit < 0:
+            raise ValueError("integral_limit must be non-negative")
+        if not 0 < derivative_alpha <= 1:
+            raise ValueError("derivative_alpha must be in (0, 1]")
+        self.gains = gains
+        self.gain_scale = 1.0
+        self.output_limits = (float(lo), float(hi))
+        self.integral_limit = float(integral_limit)
+        self.derivative_alpha = float(derivative_alpha)
+        self._integral = 0.0          # ∫ error dt (before ki)
+        self._filtered_error: float | None = None
+        self._prev_filtered: float | None = None
+        self.last_output = 0.0
+        self.updates = 0
+
+    # -- runtime gain access --------------------------------------------------
+
+    @property
+    def effective_gains(self) -> PIDGains:
+        """Baseline gains × current adaptive scale."""
+        return self.gains.scaled(self.gain_scale)
+
+    # -- state -----------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear integral and derivative state (e.g. after redeploys)."""
+        self._integral = 0.0
+        self._filtered_error = None
+        self._prev_filtered = None
+        self.last_output = 0.0
+
+    @property
+    def integral_term(self) -> float:
+        """Current integral contribution (ki × ∫e dt, clamped)."""
+        ki = self.effective_gains.ki
+        return self._clamp_integral(ki * self._integral)
+
+    def _clamp_integral(self, value: float) -> float:
+        return max(-self.integral_limit, min(self.integral_limit, value))
+
+    # -- update --------------------------------------------------------------------
+
+    def update(self, error: float, dt: float) -> float:
+        """Advance the controller by ``dt`` seconds with measured ``error``.
+
+        Returns the clamped control output.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        gains = self.effective_gains
+        self.updates += 1
+
+        # Derivative on filtered error.
+        if self._filtered_error is None:
+            self._filtered_error = error
+        else:
+            a = self.derivative_alpha
+            self._filtered_error = a * error + (1 - a) * self._filtered_error
+        if self._prev_filtered is None:
+            derivative = 0.0
+        else:
+            derivative = (self._filtered_error - self._prev_filtered) / dt
+        self._prev_filtered = self._filtered_error
+
+        # Tentative integral step with conditional anti-windup below.
+        proposed_integral = self._integral + error * dt
+        if gains.ki > 0:
+            proposed_integral = self._clamp_integral(
+                gains.ki * proposed_integral
+            ) / gains.ki
+
+        unclamped = (
+            gains.kp * error
+            + (gains.ki * proposed_integral)
+            + gains.kd * derivative
+        )
+        lo, hi = self.output_limits
+        output = max(lo, min(hi, unclamped))
+
+        # Conditional integration: only accept the integral step when the
+        # output is not saturated, or when the error pushes away from the
+        # saturated rail.
+        saturated_high = unclamped > hi and error > 0
+        saturated_low = unclamped < lo and error < 0
+        if not saturated_high and not saturated_low:
+            self._integral = proposed_integral
+
+        self.last_output = output
+        return output

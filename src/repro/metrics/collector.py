@@ -1,0 +1,185 @@
+"""Scrape loop aggregating workload and cluster metrics.
+
+Workload models register as :class:`MetricsSource`; every scrape interval
+the collector samples each source plus cluster-wide allocation/usage, and
+stores everything in named :class:`~repro.metrics.timeseries.TimeSeries`.
+Controllers read only from the collector, so they see metrics at scrape
+granularity — the same staleness a real PID loop fights.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol
+
+from repro.cluster.api import ClusterAPI
+from repro.cluster.resources import RESOURCES
+from repro.metrics.timeseries import TimeSeries
+from repro.sim.engine import Engine, PeriodicHandle
+
+
+class MetricsSource(Protocol):
+    """Anything that can be scraped for named float metrics."""
+
+    def metric_prefix(self) -> str:
+        """Prefix for this source's series names (e.g. ``app/frontend``)."""
+        ...
+
+    def sample_metrics(self, now: float) -> Mapping[str, float]:
+        """Return current metric values keyed by short metric name."""
+        ...
+
+
+class MetricsCollector:
+    """Periodic scraper storing all series for an experiment.
+
+    Parameters
+    ----------
+    engine, api:
+        Simulation engine and the cluster to scrape.
+    scrape_interval:
+        Seconds between scrapes (Prometheus default order: 5–15 s).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        api: ClusterAPI,
+        *,
+        scrape_interval: float = 5.0,
+        series_maxlen: int = 100_000,
+    ):
+        if scrape_interval <= 0:
+            raise ValueError("scrape_interval must be positive")
+        self.engine = engine
+        self.api = api
+        self.scrape_interval = scrape_interval
+        self._series_maxlen = series_maxlen
+        self._sources: list[MetricsSource] = []
+        self._series: dict[str, TimeSeries] = {}
+        self._handle: PeriodicHandle | None = None
+        self.scrapes = 0
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, source: MetricsSource) -> None:
+        """Add a source to the scrape set."""
+        self._sources.append(source)
+
+    def unregister(self, source: MetricsSource) -> None:
+        """Remove a source; missing sources are ignored."""
+        try:
+            self._sources.remove(source)
+        except ValueError:
+            pass
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic scraping (first scrape one interval from now)."""
+        if self._handle is not None:
+            raise RuntimeError("collector already started")
+        self._handle = self.engine.every(
+            self.scrape_interval, self.scrape, priority=-10
+        )
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # -- scraping ---------------------------------------------------------------
+
+    def series(self, name: str) -> TimeSeries:
+        """Get (creating if needed) the series with the given full name."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(maxlen=self._series_maxlen)
+        return self._series[name]
+
+    def has_series(self, name: str) -> bool:
+        return name in self._series
+
+    def series_names(self) -> list[str]:
+        return sorted(self._series)
+
+    def record(self, name: str, value: float) -> None:
+        """Record an out-of-band sample (e.g. per-event observations)."""
+        self.series(name).append(self.engine.now, value)
+
+    def scrape(self) -> None:
+        """Sample every source and cluster-level gauges once."""
+        now = self.engine.now
+        self.scrapes += 1
+        for source in list(self._sources):
+            prefix = source.metric_prefix()
+            for metric, value in source.sample_metrics(now).items():
+                self.series(f"{prefix}/{metric}").append(now, value)
+        allocatable = self.api.total_allocatable()
+        allocated = self.api.total_allocated()
+        usage = self.api.total_usage()
+        for name in RESOURCES:
+            cap = allocatable[name]
+            alloc_frac = allocated[name] / cap if cap > 0 else 0.0
+            usage_frac = usage[name] / cap if cap > 0 else 0.0
+            self.series(f"cluster/alloc_frac/{name}").append(now, alloc_frac)
+            self.series(f"cluster/usage_frac/{name}").append(now, usage_frac)
+        for node in self.api.list_nodes():
+            fractions = node.usage_fraction()
+            alloc_fractions = node.allocation_fraction()
+            prefix = f"node/{node.name}"
+            self.series(f"{prefix}/usage_frac/cpu").append(now, fractions["cpu"])
+            self.series(f"{prefix}/alloc_frac/cpu").append(
+                now, alloc_fractions["cpu"]
+            )
+        self.series("cluster/pending_pods").append(
+            now, float(len(self.api.pending_pods()))
+        )
+
+    # -- convenience queries ------------------------------------------------------
+
+    def latest(self, name: str) -> float | None:
+        """Most recent value of a series, or None if absent/empty."""
+        series = self._series.get(name)
+        return series.last() if series is not None else None
+
+    def window_mean(self, name: str, span: float) -> float | None:
+        series = self._series.get(name)
+        if series is None:
+            return None
+        return series.mean_over(self.engine.now, span)
+
+    def window_percentile(self, name: str, span: float, q: float) -> float | None:
+        series = self._series.get(name)
+        if series is None:
+            return None
+        return series.percentile_over(self.engine.now, span, q)
+
+    # -- export --------------------------------------------------------------------
+
+    def export_csv(self, path: str, names: list[str], *, step: float = 60.0,
+                   start: float = 0.0, end: float | None = None) -> int:
+        """Write selected series to a CSV (one time column, one column per
+        series, step-interpolated at ``step`` resolution).
+
+        The figure-regeneration path: every plot in EXPERIMENTS.md can be
+        exported for external tooling. Returns the number of data rows.
+        """
+        if step <= 0:
+            raise ValueError("step must be positive")
+        missing = [n for n in names if n not in self._series]
+        if missing:
+            raise KeyError(f"unknown series: {missing}")
+        if end is None:
+            end = self.engine.now
+        rows = 0
+        with open(path, "w") as handle:
+            handle.write(",".join(["time"] + names) + "\n")
+            t = start
+            while t <= end + 1e-9:
+                values = [self._series[n].value_at(t) for n in names]
+                cells = [f"{t:g}"] + [
+                    "" if v is None else f"{v:g}" for v in values
+                ]
+                handle.write(",".join(cells) + "\n")
+                rows += 1
+                t += step
+        return rows

@@ -1,0 +1,150 @@
+"""Append-only time series with windowed aggregation.
+
+Samples are ``(time, value)`` pairs appended in non-decreasing time order.
+Retention is bounded (ring buffer) so day-long simulations stay memory-flat.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import deque
+from typing import Iterable
+
+
+class TimeSeries:
+    """Bounded time-ordered series of float samples.
+
+    Parameters
+    ----------
+    maxlen:
+        Maximum retained samples; older samples are dropped FIFO.
+    """
+
+    def __init__(self, *, maxlen: int = 100_000):
+        self._times: deque[float] = deque(maxlen=maxlen)
+        self._values: deque[float] = deque(maxlen=maxlen)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, time: float, value: float) -> None:
+        """Append a sample; time must be ≥ the last appended time."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"out-of-order sample: t={time} after t={self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    # -- point queries -------------------------------------------------------
+
+    def last(self) -> float | None:
+        """Most recent value, or None when empty."""
+        return self._values[-1] if self._values else None
+
+    def last_time(self) -> float | None:
+        return self._times[-1] if self._times else None
+
+    def value_at(self, time: float) -> float | None:
+        """Last value at or before ``time`` (step interpolation)."""
+        times = list(self._times)
+        idx = bisect.bisect_right(times, time) - 1
+        if idx < 0:
+            return None
+        return list(self._values)[idx]
+
+    # -- window queries ------------------------------------------------------
+
+    def window(self, start: float, end: float) -> list[tuple[float, float]]:
+        """Samples with ``start < t ≤ end`` (Prometheus-style range)."""
+        return [
+            (t, v)
+            for t, v in zip(self._times, self._values)
+            if start < t <= end
+        ]
+
+    def _window_values(self, now: float, span: float) -> list[float]:
+        return [v for _t, v in self.window(now - span, now)]
+
+    def mean_over(self, now: float, span: float) -> float | None:
+        """Arithmetic mean of samples in the trailing window."""
+        values = self._window_values(now, span)
+        return sum(values) / len(values) if values else None
+
+    def max_over(self, now: float, span: float) -> float | None:
+        values = self._window_values(now, span)
+        return max(values) if values else None
+
+    def min_over(self, now: float, span: float) -> float | None:
+        values = self._window_values(now, span)
+        return min(values) if values else None
+
+    def percentile_over(self, now: float, span: float, q: float) -> float | None:
+        """q-th percentile (0–100, nearest-rank) over the trailing window."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        values = sorted(self._window_values(now, span))
+        if not values:
+            return None
+        rank = max(0, math.ceil(q / 100 * len(values)) - 1)
+        return values[rank]
+
+    def sum_over(self, now: float, span: float) -> float:
+        return sum(self._window_values(now, span))
+
+    def count_over(self, now: float, span: float) -> int:
+        return len(self._window_values(now, span))
+
+    def rate_over(self, now: float, span: float) -> float | None:
+        """Per-second increase of a monotonically-growing counter.
+
+        Uses first/last samples in the window; None with <2 samples.
+        """
+        samples = self.window(now - span, now)
+        if len(samples) < 2:
+            return None
+        (t0, v0), (t1, v1) = samples[0], samples[-1]
+        if t1 <= t0:
+            return None
+        return (v1 - v0) / (t1 - t0)
+
+    def ewma(self, alpha: float, *, count: int | None = None) -> float | None:
+        """Exponentially-weighted mean of the most recent ``count`` samples.
+
+        ``alpha`` is the smoothing factor in (0, 1]; larger weights recent
+        samples more heavily.
+        """
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        values: Iterable[float] = self._values
+        if count is not None:
+            values = list(self._values)[-count:]
+        result: float | None = None
+        for v in values:
+            result = v if result is None else alpha * v + (1 - alpha) * result
+        return result
+
+    def integrate(self, start: float, end: float) -> float:
+        """Left-step time integral of the series over ``[start, end]``.
+
+        The value at each sample holds until the next sample; the last
+        value extends to ``end``. Returns 0 with no samples before ``end``.
+        """
+        if end <= start:
+            return 0.0
+        points = [(t, v) for t, v in zip(self._times, self._values) if t <= end]
+        if not points:
+            return 0.0
+        total = 0.0
+        for i, (t, v) in enumerate(points):
+            seg_start = max(t, start)
+            seg_end = points[i + 1][0] if i + 1 < len(points) else end
+            seg_end = min(seg_end, end)
+            if seg_end > seg_start:
+                total += v * (seg_end - seg_start)
+        return total
+
+    def to_lists(self) -> tuple[list[float], list[float]]:
+        """Copies of (times, values), e.g. for plotting or export."""
+        return list(self._times), list(self._values)

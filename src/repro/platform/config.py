@@ -1,0 +1,140 @@
+"""Experiment configuration: cluster shapes and platform knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cluster.node import Node
+from repro.cluster.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class NodeGroup:
+    """A homogeneous slice of a heterogeneous cluster.
+
+    EVOLVE's testbed mixes general-purpose workers with accelerated and
+    storage-dense nodes; groups express that: each group contributes
+    ``count`` nodes of one shape, labelled so selectors/preferences can
+    target them (e.g. ``{"accelerator": "fpga"}``).
+    """
+
+    name: str
+    count: int
+    capacity: ResourceVector
+    labels: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"group {self.name!r}: count must be ≥ 1")
+        if self.capacity.any_negative():
+            raise ValueError(f"group {self.name!r}: negative capacity")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape of the simulated cluster.
+
+    Defaults approximate a small private-cloud rack: 8 nodes of 16 cores,
+    64 GiB, 500 MB/s disk, 1.25 GB/s (10 GbE) network. For heterogeneous
+    clusters pass ``groups``, which replaces the homogeneous
+    ``node_count`` × ``node_capacity`` shape.
+    """
+
+    node_count: int = 8
+    node_capacity: ResourceVector = field(
+        default_factory=lambda: ResourceVector(
+            cpu=16, memory=64, disk_bw=500, net_bw=1250
+        )
+    )
+    system_reserved: ResourceVector = field(
+        default_factory=lambda: ResourceVector(cpu=1, memory=2, disk_bw=20, net_bw=50)
+    )
+    groups: tuple[NodeGroup, ...] = ()
+    #: Number of availability zones; nodes are labelled ``zone=z<i>``
+    #: round-robin. 1 means a flat (zone-less) cluster.
+    zones: int = 1
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ValueError("node_count must be ≥ 1")
+        if self.zones < 1:
+            raise ValueError("zones must be ≥ 1")
+
+    @property
+    def total_nodes(self) -> int:
+        if self.groups:
+            return sum(g.count for g in self.groups)
+        return self.node_count
+
+
+def build_nodes(spec: ClusterSpec, *, name_prefix: str = "node") -> list[Node]:
+    """Materialize the spec into node objects."""
+    def zone_label(index: int) -> dict[str, str]:
+        if spec.zones <= 1:
+            return {}
+        return {"zone": f"z{index % spec.zones}"}
+
+    if not spec.groups:
+        return [
+            Node(
+                f"{name_prefix}-{i:02d}",
+                spec.node_capacity,
+                system_reserved=spec.system_reserved,
+                labels=zone_label(i),
+            )
+            for i in range(spec.node_count)
+        ]
+    nodes: list[Node] = []
+    index = 0
+    for group in spec.groups:
+        for i in range(group.count):
+            labels = dict(group.labels)
+            labels.update(zone_label(index))
+            nodes.append(
+                Node(
+                    f"{group.name}-{i:02d}",
+                    group.capacity,
+                    system_reserved=spec.system_reserved,
+                    labels=labels,
+                )
+            )
+            index += 1
+    return nodes
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Cadences and defaults of the platform's control plane."""
+
+    seed: int = 0
+    scrape_interval: float = 5.0
+    control_interval: float = 10.0
+    schedule_interval: float = 1.0
+    plo_eval_interval: float = 5.0
+    #: Seconds before PLO violation accounting begins (cold-start grace).
+    plo_warmup: float = 60.0
+    startup_delay: float = 10.0
+    resize_delay: float = 1.0
+    min_allocation: ResourceVector = field(
+        default_factory=lambda: ResourceVector(
+            cpu=0.1, memory=0.25, disk_bw=5, net_bw=5
+        )
+    )
+    max_allocation: ResourceVector = field(
+        default_factory=lambda: ResourceVector(
+            cpu=8, memory=32, disk_bw=400, net_bw=1000
+        )
+    )
+
+    def __post_init__(self) -> None:
+        for name in (
+            "scrape_interval",
+            "control_interval",
+            "schedule_interval",
+            "plo_eval_interval",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not self.min_allocation.fits_within(self.max_allocation):
+            raise ValueError("min_allocation must fit within max_allocation")

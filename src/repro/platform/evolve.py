@@ -1,0 +1,413 @@
+"""EvolvePlatform: the end-to-end converged platform.
+
+Typical experiment::
+
+    platform = EvolvePlatform(policy="adaptive", scheduler="converged")
+    svc = platform.deploy_microservice(
+        "frontend", trace=DiurnalTrace(300, 200), demands=DEMANDS,
+        plo=LatencyPLO(0.1), allocation=ResourceVector(cpu=1, memory=1),
+    )
+    platform.run(6 * 3600)
+    result = platform.result()
+    print(result.violation_fraction("frontend"), result.utilization.overall_usage)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.stats import PLOMonitor, UtilizationSummary, utilization_summary
+from repro.autoscaler.adaptive import AdaptiveAutoscaler
+from repro.cluster.chaos import ChaosMonkey, FailureInjector
+from repro.cluster.quota import QuotaManager
+from repro.autoscaler.hpa import HorizontalPodAutoscaler
+from repro.autoscaler.static import StaticPolicy
+from repro.autoscaler.vpa import VerticalPodAutoscaler
+from repro.cluster.api import ClusterAPI
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.pod import WorkloadClass
+from repro.cluster.resources import ResourceVector
+from repro.control.multiresource import AllocationBounds
+from repro.metrics.collector import MetricsCollector
+from repro.platform.config import ClusterSpec, PlatformConfig, build_nodes
+from repro.scheduler.converged import ConvergedScheduler, SiloedScheduler
+from repro.scheduler.kube import KubeScheduler
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.storage.objectstore import ObjectStore
+from repro.workloads.base import Application
+from repro.workloads.bigdata import BigDataJob, Stage
+from repro.workloads.hpc import HPCJob
+from repro.workloads.microservice import DemandPhase, Microservice, ServiceDemands
+from repro.workloads.plo import DeadlinePLO, LatencyPLO, ThroughputPLO, ViolationTracker
+from repro.workloads.traces import LoadTrace
+
+#: Autoscaling policies selectable by name.
+POLICIES = ("static", "hpa", "vpa", "adaptive")
+
+#: Schedulers selectable by name.
+SCHEDULERS = ("kube", "converged", "siloed")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the benchmark harness reads after a run."""
+
+    duration: float
+    trackers: dict[str, ViolationTracker]
+    utilization: UtilizationSummary
+    makespans: dict[str, float | None]
+    hpc_waits: dict[str, float | None]
+    scale_events: dict[str, int] = field(default_factory=dict)
+
+    def violation_fraction(self, app: str) -> float:
+        return self.trackers[app].violation_fraction
+
+    def total_violation_fraction(self) -> float:
+        """Observation-weighted violation fraction across tracked apps."""
+        total_observed = sum(t.observed_seconds for t in self.trackers.values())
+        total_violation = sum(t.violation_seconds for t in self.trackers.values())
+        return total_violation / total_observed if total_observed > 0 else 0.0
+
+
+class EvolvePlatform:
+    """The converged platform: construction + deployment verbs + run.
+
+    Parameters
+    ----------
+    cluster_spec / config:
+        Cluster shape and control-plane cadences.
+    scheduler:
+        ``"kube"``, ``"converged"``, or ``"siloed"`` (the latter requires
+        ``silo_pools``).
+    policy:
+        Autoscaling policy for *managed* microservices: ``"static"``,
+        ``"hpa"``, ``"vpa"``, or ``"adaptive"``.
+    policy_kwargs:
+        Extra keyword arguments forwarded to the policy constructor
+        (e.g. ``adaptive=False`` or ``dimensions=("cpu",)`` for ablations).
+    """
+
+    def __init__(
+        self,
+        *,
+        cluster_spec: ClusterSpec | None = None,
+        config: PlatformConfig | None = None,
+        scheduler: str = "converged",
+        policy: str = "adaptive",
+        policy_kwargs: dict | None = None,
+        scheduler_kwargs: dict | None = None,
+        silo_pools: dict[WorkloadClass, list[str]] | None = None,
+    ):
+        self._scheduler_kwargs = dict(scheduler_kwargs or {})
+        self.config = config or PlatformConfig()
+        self.cluster_spec = cluster_spec or ClusterSpec()
+        self.engine = Engine()
+        self.rng = RngRegistry(self.config.seed)
+        self.store = ObjectStore()
+        nodes = build_nodes(self.cluster_spec)
+        self.cluster = Cluster(
+            self.engine,
+            nodes,
+            config=ClusterConfig(
+                startup_delay=self.config.startup_delay,
+                resize_delay=self.config.resize_delay,
+            ),
+        )
+        self.api = ClusterAPI(self.cluster)
+        self.collector = MetricsCollector(
+            self.engine, self.api, scrape_interval=self.config.scrape_interval
+        )
+        self.monitor = PLOMonitor(
+            self.engine, self.collector, interval=self.config.plo_eval_interval
+        )
+        self.scheduler = self._build_scheduler(scheduler, silo_pools)
+        self.bounds = AllocationBounds(
+            self.config.min_allocation, self.config.max_allocation
+        )
+        self.policy_name = policy
+        self.policy = self._build_policy(policy, policy_kwargs or {})
+        self.apps: dict[str, Application] = {}
+        self.quotas = QuotaManager()
+        self.cluster.quotas = self.quotas
+        self.injector = FailureInjector(self.cluster)
+        self.chaos: ChaosMonkey | None = None
+        self._started = False
+        self._run_until = 0.0
+
+    def set_tenant_quota(self, tenant: str, limit: ResourceVector) -> None:
+        """Cap the total resources ``tenant``-labelled pods may hold.
+
+        Deployments join a tenant by passing ``labels={"tenant": name}``.
+        """
+        self.quotas.set_quota(tenant, limit)
+
+    def enable_chaos(
+        self,
+        *,
+        mtbf: float = 3600.0,
+        repair_time: float = 300.0,
+        max_concurrent_failures: int = 1,
+    ) -> ChaosMonkey:
+        """Arm random node failures for the rest of the run."""
+        if self.chaos is not None:
+            raise RuntimeError("chaos already enabled")
+        self.chaos = ChaosMonkey(
+            self.engine,
+            self.injector,
+            self.rng.stream("chaos"),
+            mtbf=mtbf,
+            repair_time=repair_time,
+            max_concurrent_failures=max_concurrent_failures,
+        )
+        self.chaos.start()
+        return self.chaos
+
+    # -- construction helpers -------------------------------------------------
+
+    def _build_scheduler(self, name: str, silo_pools):
+        if name == "kube":
+            return KubeScheduler(
+                self.engine, self.api, interval=self.config.schedule_interval,
+                **self._scheduler_kwargs,
+            )
+        if name == "converged":
+            return ConvergedScheduler(
+                self.engine,
+                self.api,
+                store=self.store,
+                interval=self.config.schedule_interval,
+                **self._scheduler_kwargs,
+            )
+        if name == "siloed":
+            if silo_pools is None:
+                silo_pools = self._default_silos()
+            return SiloedScheduler(
+                self.engine,
+                self.api,
+                pools=silo_pools,
+                interval=self.config.schedule_interval,
+                **self._scheduler_kwargs,
+            )
+        raise ValueError(f"unknown scheduler {name!r}; choose from {SCHEDULERS}")
+
+    def _default_silos(self) -> dict[WorkloadClass, list[str]]:
+        """Split nodes one-third per world (rounded), FIFO by name."""
+        names = sorted(self.cluster.nodes)
+        third = max(1, len(names) // 3)
+        return {
+            WorkloadClass.MICROSERVICE: names[:third],
+            WorkloadClass.BIGDATA: names[third : 2 * third],
+            WorkloadClass.HPC: names[2 * third :],
+        }
+
+    def _build_policy(self, name: str, kwargs: dict):
+        if name == "static":
+            return StaticPolicy(self.engine, self.collector, **kwargs)
+        if name == "hpa":
+            return HorizontalPodAutoscaler(self.engine, self.collector, **kwargs)
+        if name == "vpa":
+            return VerticalPodAutoscaler(
+                self.engine, self.collector, bounds=self.bounds, **kwargs
+            )
+        if name == "adaptive":
+            return AdaptiveAutoscaler(
+                self.engine,
+                self.collector,
+                bounds=self.bounds,
+                interval=self.config.control_interval,
+                **kwargs,
+            )
+        raise ValueError(f"unknown policy {name!r}; choose from {POLICIES}")
+
+    # -- deployment verbs ----------------------------------------------------------
+
+    def deploy_microservice(
+        self,
+        name: str,
+        *,
+        trace: LoadTrace,
+        demands: ServiceDemands | Sequence[DemandPhase],
+        allocation: ResourceVector,
+        plo: LatencyPLO | ThroughputPLO | None = None,
+        replicas: int = 1,
+        managed: bool = True,
+        **kwargs,
+    ) -> Microservice:
+        """Deploy a latency-sensitive service, optionally PLO-managed."""
+        app = Microservice(
+            name,
+            self.engine,
+            self.api,
+            trace=trace,
+            demands=demands,
+            initial_allocation=allocation,
+            initial_replicas=replicas,
+            **kwargs,
+        )
+        self._register(app, plo, managed)
+        return app
+
+    def submit_bigdata(
+        self,
+        name: str,
+        *,
+        stages: Sequence[Stage],
+        allocation: ResourceVector,
+        executors: int = 2,
+        dataset: str | None = None,
+        deadline: float | None = None,
+        delay: float = 0.0,
+        managed: bool = False,
+        **kwargs,
+    ) -> BigDataJob:
+        """Submit an analytics job, optionally after ``delay`` seconds."""
+        job = BigDataJob(
+            name,
+            self.engine,
+            self.api,
+            stages=stages,
+            initial_allocation=allocation,
+            initial_executors=executors,
+            store=self.store if dataset is not None else None,
+            dataset=dataset,
+            deadline=deadline,
+            **kwargs,
+        )
+        plo = None
+        if deadline is not None:
+            plo = DeadlinePLO(deadline, start_time=delay)
+        self._register(job, plo, managed, start_delay=delay)
+        return job
+
+    def deploy_stream(
+        self,
+        name: str,
+        *,
+        trace: LoadTrace,
+        operators,
+        allocation: ResourceVector,
+        plo: LatencyPLO | ThroughputPLO | None = None,
+        workers: int = 1,
+        managed: bool = True,
+        **kwargs,
+    ) -> "StreamJob":
+        """Deploy a continuous stream pipeline, optionally PLO-managed.
+
+        A LatencyPLO on a stream job targets the watermark delay
+        (seconds of lag), which the job exports as its ``latency``
+        metric.
+        """
+        from repro.workloads.stream import StreamJob
+
+        app = StreamJob(
+            name,
+            self.engine,
+            self.api,
+            trace=trace,
+            operators=operators,
+            initial_allocation=allocation,
+            initial_workers=workers,
+            **kwargs,
+        )
+        self._register(app, plo, managed)
+        return app
+
+    def submit_hpc(
+        self,
+        name: str,
+        *,
+        ranks: int,
+        duration: float,
+        allocation: ResourceVector,
+        delay: float = 0.0,
+        **kwargs,
+    ) -> HPCJob:
+        """Submit a gang job after ``delay`` seconds."""
+        job = HPCJob(
+            name,
+            self.engine,
+            self.api,
+            ranks=ranks,
+            duration=duration,
+            allocation=allocation,
+            **kwargs,
+        )
+        self._register(job, None, managed=False, start_delay=delay)
+        return job
+
+    def _register(
+        self,
+        app: Application,
+        plo,
+        managed: bool,
+        *,
+        start_delay: float = 0.0,
+    ) -> None:
+        if app.name in self.apps:
+            raise ValueError(f"application {app.name!r} already deployed")
+        self.apps[app.name] = app
+        app.maintain_replicas = True  # survive preemption and node failure
+        self.collector.register(app)
+        if plo is not None:
+            app.plo = plo
+            self.monitor.track(app)
+        if managed:
+            if plo is None and self.policy_name == "adaptive":
+                raise ValueError(
+                    f"application {app.name!r}: the adaptive policy needs a PLO"
+                )
+            self.policy.attach(app)
+        if start_delay > 0:
+            self.engine.schedule(start_delay, app.start)
+        else:
+            app.start()
+
+    # -- run --------------------------------------------------------------------------
+
+    def start_control_plane(self) -> None:
+        """Start collector, scheduler, policy, and monitor loops."""
+        if self._started:
+            return
+        self._started = True
+        self.collector.start()
+        self.scheduler.start()
+        self.policy.start()
+        if self.config.plo_warmup > 0:
+            self.engine.schedule(self.config.plo_warmup, self.monitor.start)
+        else:
+            self.monitor.start()
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        self.start_control_plane()
+        self._run_until = self.engine.now + duration
+        self.engine.run_until(self._run_until)
+
+    # -- results -------------------------------------------------------------------------
+
+    def result(self) -> ExperimentResult:
+        """Summarize the run so far."""
+        end = self.engine.now
+        start = 0.0
+        util = utilization_summary(self.collector, start, max(end, 1e-9))
+        makespans: dict[str, float | None] = {}
+        waits: dict[str, float | None] = {}
+        scale_events: dict[str, int] = {}
+        for name, app in self.apps.items():
+            if isinstance(app, (BigDataJob, HPCJob)):
+                makespans[name] = app.makespan()
+            if isinstance(app, HPCJob):
+                waits[name] = app.wait_time()
+        if isinstance(self.policy, AdaptiveAutoscaler) and self.policy.escape:
+            scale_events["scale_outs"] = self.policy.escape.scale_outs
+            scale_events["scale_ins"] = self.policy.escape.scale_ins
+        return ExperimentResult(
+            duration=end,
+            trackers=dict(self.monitor.trackers),
+            utilization=util,
+            makespans=makespans,
+            hpc_waits=waits,
+            scale_events=scale_events,
+        )

@@ -1,0 +1,36 @@
+"""Pod placement: the baseline kube scheduler and the converged scheduler.
+
+* :class:`~repro.scheduler.kube.KubeScheduler` — filter + LeastAllocated
+  scoring, pods placed one at a time (vanilla behaviour; gangs can strand).
+* :class:`~repro.scheduler.converged.ConvergedScheduler` — one scheduler
+  for all three worlds: all-or-nothing gang admission for HPC, data
+  locality for big-data executors, interference-aware spreading for
+  latency-sensitive services.
+* :class:`~repro.scheduler.converged.SiloedScheduler` — the
+  statically-partitioned comparator (one node pool per world).
+"""
+
+from repro.scheduler.base import SchedulerBase
+from repro.scheduler.kube import KubeScheduler
+from repro.scheduler.gang import GangAdmission
+from repro.scheduler.interference import interference_penalty
+from repro.scheduler.preemption import (
+    PreemptionPlan,
+    plan_cheapest_single,
+    plan_gang,
+    plan_single,
+)
+from repro.scheduler.converged import ConvergedScheduler, SiloedScheduler
+
+__all__ = [
+    "SchedulerBase",
+    "KubeScheduler",
+    "GangAdmission",
+    "interference_penalty",
+    "PreemptionPlan",
+    "plan_single",
+    "plan_cheapest_single",
+    "plan_gang",
+    "ConvergedScheduler",
+    "SiloedScheduler",
+]

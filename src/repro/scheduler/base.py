@@ -1,0 +1,73 @@
+"""Scheduler loop plumbing shared by all placement policies."""
+
+from __future__ import annotations
+
+from repro.cluster.api import ClusterAPI
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod
+from repro.sim.engine import Engine, PeriodicHandle
+
+
+class SchedulerBase:
+    """Periodic scheduling loop.
+
+    Each cycle walks the pending queue in submission order and asks the
+    policy (:meth:`schedule_cycle` / :meth:`select_node`) to place pods.
+    Pods that cannot be placed stay pending and are retried next cycle.
+    """
+
+    policy_name = "base"
+
+    def __init__(self, engine: Engine, api: ClusterAPI, *, interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.engine = engine
+        self.api = api
+        self.interval = interval
+        self._handle: PeriodicHandle | None = None
+        self.cycles = 0
+        self.binds = 0
+        self.failures = 0
+
+    def start(self) -> None:
+        if self._handle is not None:
+            raise RuntimeError("scheduler already started")
+        self._handle = self.engine.every(self.interval, self._cycle, priority=0)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _cycle(self) -> None:
+        self.cycles += 1
+        self.schedule_cycle()
+
+    # -- policy hooks -------------------------------------------------------------
+
+    def schedule_cycle(self) -> None:
+        """Default cycle: place each pending pod independently."""
+        for pod in self.api.pending_pods():
+            if not self.api.quota_allows_bind(pod.name):
+                self.failures += 1
+                continue
+            node = self.select_node(pod)
+            if node is None:
+                self.failures += 1
+                continue
+            self.api.bind_pod(pod.name, node.name)
+            self.binds += 1
+
+    def select_node(self, pod: Pod) -> Node | None:
+        """Pick a node for one pod, or None if unschedulable now. Override."""
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------------------
+
+    def feasible_nodes(self, pod: Pod) -> list[Node]:
+        """Nodes with room for the pod that satisfy its node selector."""
+        return [
+            n
+            for n in self.api.list_nodes()
+            if n.can_fit(pod.allocation) and pod.spec.selector_matches(n.labels)
+        ]

@@ -1,0 +1,55 @@
+"""Interference heuristics for co-locating the three worlds.
+
+The converged scheduler spreads latency-sensitive pods away from heavily
+used nodes and away from bandwidth-hungry batch work. The penalty is a
+score *subtraction* in [0, ~2]: it never makes an infeasible node
+feasible, it only re-ranks feasible ones.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod, WorkloadClass
+
+
+#: How sensitive each class is to a busy node (0 = indifferent).
+_SENSITIVITY = {
+    WorkloadClass.MICROSERVICE: 1.0,
+    WorkloadClass.HPC: 0.8,
+    WorkloadClass.BIGDATA: 0.2,
+    WorkloadClass.SYSTEM: 0.0,
+}
+
+#: How noisy each class is as a neighbour.
+_NOISE = {
+    WorkloadClass.BIGDATA: 1.0,
+    WorkloadClass.HPC: 0.6,
+    WorkloadClass.MICROSERVICE: 0.3,
+    WorkloadClass.SYSTEM: 0.1,
+}
+
+
+def node_noise(node: Node) -> float:
+    """Aggregate neighbour noisiness on a node, weighted by usage share.
+
+    Each resident pod contributes its class noise scaled by its share of
+    node capacity actually in use.
+    """
+    total = 0.0
+    for pod in node.pods.values():
+        share = pod.usage.dominant_share(node.allocatable)
+        total += _NOISE[pod.spec.workload_class] * share
+    return total
+
+
+def interference_penalty(node: Node, pod: Pod) -> float:
+    """Score penalty for placing ``pod`` on ``node``.
+
+    Combines the node's overall usage pressure with resident-pod noise,
+    weighted by the incoming pod's sensitivity.
+    """
+    sensitivity = _SENSITIVITY[pod.spec.workload_class]
+    if sensitivity <= 0:
+        return 0.0
+    pressure = max(node.usage_fraction().values(), default=0.0)
+    return sensitivity * (pressure + node_noise(node))

@@ -1,0 +1,130 @@
+"""Priority preemption planning.
+
+When a high-priority pod (or a whole gang) cannot be placed, the
+converged scheduler may evict strictly-lower-priority pods to make room —
+the mechanism that lets user-facing services and rigid gangs displace
+elastic batch work, which simply re-queues its executors.
+
+Planning is side-effect-free: a plan lists victims per node, and the
+scheduler applies it only after a complete plan exists (no partial
+evictions for gangs that still would not fit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod
+from repro.cluster.resources import ResourceVector
+
+
+@dataclass
+class PreemptionPlan:
+    """Victims to evict, and where the incoming pod(s) will land."""
+
+    victims: list[Pod] = field(default_factory=list)
+    assignment: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def cost(self) -> int:
+        return len(self.victims)
+
+
+def _evictable(node: Node, priority: int) -> list[Pod]:
+    """Strictly-lower-priority pods on ``node``, cheapest-first."""
+    return [
+        pod for pod in node.pods_by_priority() if pod.spec.priority < priority
+    ]
+
+
+def plan_single(node: Node, pod: Pod) -> PreemptionPlan | None:
+    """Plan to fit one ``pod`` on ``node`` by evicting low-priority pods.
+
+    Greedy: evict the lowest-priority residents first until the pod fits.
+    Returns None when even evicting every lower-priority pod is not
+    enough.
+    """
+    if not pod.spec.selector_matches(node.labels):
+        return None
+    free = node.free
+    if pod.allocation.fits_within(free):
+        return PreemptionPlan(assignment={pod.name: node.name})
+    victims: list[Pod] = []
+    for candidate in _evictable(node, pod.spec.priority):
+        victims.append(candidate)
+        free = free + candidate.allocation
+        if pod.allocation.fits_within(free):
+            return PreemptionPlan(victims=victims,
+                                  assignment={pod.name: node.name})
+    return None
+
+
+def plan_cheapest_single(nodes: list[Node], pod: Pod) -> PreemptionPlan | None:
+    """The single-pod plan with the fewest victims across ``nodes``."""
+    best: PreemptionPlan | None = None
+    for node in nodes:
+        plan = plan_single(node, pod)
+        if plan is not None and plan.victims and (
+            best is None or plan.cost < best.cost
+        ):
+            best = plan
+    return best
+
+
+def plan_gang(nodes: list[Node], members: list[Pod]) -> PreemptionPlan | None:
+    """Plan to co-place a whole gang by evicting low-priority pods.
+
+    Greedy first-fit-decreasing over hypothetical headroom: for each rank
+    (largest first) pick the node needing the fewest additional
+    evictions. Returns None unless *every* rank can be placed — gangs are
+    never admitted partially, with or without preemption.
+    """
+    if not members:
+        return PreemptionPlan()
+    if not nodes:
+        return None
+    priority = members[0].spec.priority
+    headroom: dict[str, ResourceVector] = {n.name: n.free for n in nodes}
+    remaining_evictable: dict[str, list[Pod]] = {
+        n.name: _evictable(n, priority) for n in nodes
+    }
+    plan = PreemptionPlan()
+    mean_cap = ResourceVector.zero()
+    for node in nodes:
+        mean_cap = mean_cap + node.allocatable
+    mean_cap = mean_cap / max(1, len(nodes))
+    ordered = sorted(
+        members, key=lambda p: p.allocation.dominant_share(mean_cap), reverse=True
+    )
+
+    for member in ordered:
+        best_node: str | None = None
+        best_evictions: list[Pod] | None = None
+        for node in nodes:
+            if not member.spec.selector_matches(node.labels):
+                continue
+            free = headroom[node.name]
+            evictions: list[Pod] = []
+            if not member.allocation.fits_within(free):
+                for candidate in remaining_evictable[node.name]:
+                    evictions.append(candidate)
+                    free = free + candidate.allocation
+                    if member.allocation.fits_within(free):
+                        break
+                else:
+                    continue  # this node cannot host the rank at all
+            if best_evictions is None or len(evictions) < len(best_evictions):
+                best_node = node.name
+                best_evictions = evictions
+        if best_node is None or best_evictions is None:
+            return None
+        for victim in best_evictions:
+            plan.victims.append(victim)
+            remaining_evictable[best_node].remove(victim)
+            headroom[best_node] = headroom[best_node] + victim.allocation
+        headroom[best_node] = (
+            headroom[best_node] - member.allocation
+        ).clamp_nonnegative()
+        plan.assignment[member.name] = best_node
+    return plan

@@ -1,0 +1,19 @@
+"""Discrete-event simulation core.
+
+This package provides the clock and event machinery every other subsystem
+is built on: an event-heap engine (:class:`~repro.sim.engine.Engine`),
+cancellable and periodic events, and seeded random-number streams
+(:class:`~repro.sim.rng.RngRegistry`) so that every experiment in the
+repository is deterministic given its seed.
+"""
+
+from repro.sim.engine import Engine, EventHandle, PeriodicHandle, SimulationError
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "PeriodicHandle",
+    "RngRegistry",
+    "SimulationError",
+]

@@ -1,0 +1,227 @@
+"""Event-heap discrete-event simulation engine.
+
+The engine keeps a priority queue of timestamped callbacks. Components
+schedule work with :meth:`Engine.schedule` (relative delay) or
+:meth:`Engine.schedule_at` (absolute time) and the engine executes
+callbacks in time order. Ties are broken first by an explicit integer
+priority (lower runs first) and then by insertion order, which makes runs
+fully deterministic.
+
+Simulated time is a float in **seconds**. There is no wall-clock coupling:
+a 24-hour experiment runs as fast as its callbacks allow.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine operations (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """Handle to a scheduled event, allowing cancellation.
+
+    Cancellation is lazy: the heap entry stays in place but is skipped when
+    popped. ``cancelled`` and ``executed`` let callers inspect state.
+    """
+
+    __slots__ = ("time", "priority", "callback", "cancelled", "executed")
+
+    def __init__(self, time: float, priority: int, callback: Callable[[], None]):
+        self.time = time
+        self.priority = priority
+        self.callback = callback
+        self.cancelled = False
+        self.executed = False
+
+    def cancel(self) -> None:
+        """Prevent the event from running. Safe to call more than once."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still scheduled to run."""
+        return not self.cancelled and not self.executed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("done" if self.executed else "pending")
+        return f"EventHandle(t={self.time:.6g}, prio={self.priority}, {state})"
+
+
+class PeriodicHandle:
+    """Handle to a repeating event; cancelling stops future firings."""
+
+    __slots__ = ("interval", "_engine", "_current", "cancelled", "fired")
+
+    def __init__(self, engine: "Engine", interval: float):
+        self.interval = interval
+        self._engine = engine
+        self._current: EventHandle | None = None
+        self.cancelled = False
+        self.fired = 0
+
+    def cancel(self) -> None:
+        """Stop the periodic event after any currently-executing firing."""
+        self.cancelled = True
+        if self._current is not None:
+            self._current.cancel()
+
+
+class Engine:
+    """Discrete-event engine with deterministic execution order.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulated time (seconds). Defaults to 0.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, int, EventHandle]] = []
+        self._counter = itertools.count()
+        self._running = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative. Returns a cancellable handle.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, which is before now={self._now!r}"
+            )
+        handle = EventHandle(time, priority, callback)
+        heapq.heappush(self._heap, (time, priority, next(self._counter), handle))
+        return handle
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        start: float | None = None,
+        priority: int = 0,
+    ) -> PeriodicHandle:
+        """Run ``callback`` every ``interval`` seconds.
+
+        The first firing happens at ``start`` (absolute time, default
+        ``now + interval``). Returns a handle whose :meth:`~PeriodicHandle.cancel`
+        stops future firings.
+        """
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval!r}")
+        periodic = PeriodicHandle(self, interval)
+        first = self._now + interval if start is None else start
+
+        def fire() -> None:
+            if periodic.cancelled:
+                return
+            periodic.fired += 1
+            callback()
+            if not periodic.cancelled:
+                periodic._current = self.schedule_at(
+                    self._now + interval, fire, priority=priority
+                )
+
+        periodic._current = self.schedule_at(first, fire, priority=priority)
+        return periodic
+
+    def peek(self) -> float | None:
+        """Time of the next pending event, or None if the heap is empty."""
+        while self._heap:
+            time, _priority, _seq, handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None
+
+    def step(self) -> bool:
+        """Execute the next pending event. Returns False if none remain."""
+        while self._heap:
+            time, _priority, _seq, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            handle.executed = True
+            handle.callback()
+            self.events_executed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run events until simulated time reaches ``end_time``.
+
+        Events scheduled exactly at ``end_time`` are executed. The clock is
+        left at ``end_time`` even if the heap drains early, so periodic
+        consumers observe a consistent horizon.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time!r} is before current time {self._now!r}"
+            )
+        self._running = True
+        try:
+            while self._running:
+                nxt = self.peek()
+                if nxt is None or nxt > end_time:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        self._now = max(self._now, end_time)
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the event heap drains (or ``max_events`` executed).
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while self._running:
+                if max_events is not None and executed >= max_events:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    def stop(self) -> None:
+        """Stop a run in progress after the current event completes."""
+        self._running = False
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still in the heap."""
+        return sum(1 for *_xs, handle in self._heap if handle.pending)

@@ -1,0 +1,107 @@
+"""H3-style object store model.
+
+Objects are block-replicated across node-local devices. The store tracks
+metadata only (sizes and replica locations); data movement costs are
+charged by the workload models through their disk/network bandwidth
+allocations. Remote reads are additionally discounted by
+``remote_penalty`` to reflect protocol and cross-rack overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class StorageError(RuntimeError):
+    """Raised on invalid object-store operations."""
+
+
+@dataclass(frozen=True)
+class StorageObject:
+    """One stored object (a dataset block)."""
+
+    bucket: str
+    key: str
+    size_mb: float
+    replicas: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.size_mb < 0:
+            raise ValueError("size_mb must be non-negative")
+
+    def is_local_to(self, node_name: str) -> bool:
+        return node_name in self.replicas
+
+
+class ObjectStore:
+    """Bucket/object metadata service.
+
+    Parameters
+    ----------
+    remote_penalty:
+        Multiplier (0, 1] applied to network bandwidth for remote reads.
+    """
+
+    def __init__(self, *, remote_penalty: float = 0.7):
+        if not 0 < remote_penalty <= 1:
+            raise ValueError("remote_penalty must be in (0, 1]")
+        self.remote_penalty = remote_penalty
+        self._buckets: dict[str, dict[str, StorageObject]] = {}
+
+    # -- bucket/object CRUD ---------------------------------------------------
+
+    def create_bucket(self, bucket: str) -> None:
+        if bucket in self._buckets:
+            raise StorageError(f"bucket {bucket!r} already exists")
+        self._buckets[bucket] = {}
+
+    def has_bucket(self, bucket: str) -> bool:
+        return bucket in self._buckets
+
+    def put(
+        self, bucket: str, key: str, size_mb: float, replicas: set[str] | frozenset[str]
+    ) -> StorageObject:
+        """Store object metadata; replicas are node names holding the data."""
+        if bucket not in self._buckets:
+            raise StorageError(f"unknown bucket {bucket!r}")
+        obj = StorageObject(bucket, key, size_mb, frozenset(replicas))
+        self._buckets[bucket][key] = obj
+        return obj
+
+    def get(self, bucket: str, key: str) -> StorageObject:
+        try:
+            return self._buckets[bucket][key]
+        except KeyError:
+            raise StorageError(f"unknown object {bucket!r}/{key!r}") from None
+
+    def delete(self, bucket: str, key: str) -> None:
+        try:
+            del self._buckets[bucket][key]
+        except KeyError:
+            raise StorageError(f"unknown object {bucket!r}/{key!r}") from None
+
+    def list_objects(self, bucket: str) -> list[StorageObject]:
+        if bucket not in self._buckets:
+            raise StorageError(f"unknown bucket {bucket!r}")
+        return list(self._buckets[bucket].values())
+
+    # -- dataset-level queries ----------------------------------------------------
+
+    def bucket_size_mb(self, bucket: str) -> float:
+        return sum(o.size_mb for o in self.list_objects(bucket))
+
+    def locality_fraction(self, bucket: str, node_name: str) -> float:
+        """Fraction of the bucket's bytes with a replica on ``node_name``."""
+        objects = self.list_objects(bucket)
+        total = sum(o.size_mb for o in objects)
+        if total <= 0:
+            return 0.0
+        local = sum(o.size_mb for o in objects if o.is_local_to(node_name))
+        return local / total
+
+    def replica_nodes(self, bucket: str) -> set[str]:
+        """All nodes holding at least one block of the bucket."""
+        nodes: set[str] = set()
+        for obj in self.list_objects(bucket):
+            nodes |= obj.replicas
+        return nodes

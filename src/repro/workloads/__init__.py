@@ -1,0 +1,68 @@
+"""Workload models for the three converging worlds.
+
+* :mod:`repro.workloads.microservice` — latency-sensitive cloud services
+  (queueing model with multi-resource service demands).
+* :mod:`repro.workloads.bigdata` — elastic DAG-structured analytics jobs.
+* :mod:`repro.workloads.hpc` — rigid gang-scheduled tightly-coupled jobs.
+
+Plus the pieces they share: load-trace generators
+(:mod:`repro.workloads.traces`), performance-level objectives
+(:mod:`repro.workloads.plo`), and the replica-managing application driver
+base (:mod:`repro.workloads.base`).
+"""
+
+from repro.workloads.base import Application
+from repro.workloads.bigdata import BigDataJob, Stage
+from repro.workloads.hpc import HPCJob
+from repro.workloads.stream import Operator, StreamJob
+from repro.workloads.microservice import DemandPhase, Microservice, ServiceDemands
+from repro.workloads.plo import (
+    DeadlinePLO,
+    LatencyPLO,
+    PLOStatus,
+    ThroughputPLO,
+    ViolationTracker,
+)
+from repro.workloads.traces import (
+    BurstyTrace,
+    CompositeTrace,
+    ConstantTrace,
+    DiurnalTrace,
+    FlashCrowdTrace,
+    LoadTrace,
+    NoisyTrace,
+    OUTrace,
+    RampTrace,
+    ReplayTrace,
+    ScaledTrace,
+    StepTrace,
+)
+
+__all__ = [
+    "Application",
+    "Microservice",
+    "ServiceDemands",
+    "DemandPhase",
+    "BigDataJob",
+    "Stage",
+    "HPCJob",
+    "StreamJob",
+    "Operator",
+    "PLOStatus",
+    "LatencyPLO",
+    "ThroughputPLO",
+    "DeadlinePLO",
+    "ViolationTracker",
+    "LoadTrace",
+    "ConstantTrace",
+    "StepTrace",
+    "DiurnalTrace",
+    "BurstyTrace",
+    "FlashCrowdTrace",
+    "RampTrace",
+    "NoisyTrace",
+    "OUTrace",
+    "ReplayTrace",
+    "ScaledTrace",
+    "CompositeTrace",
+]

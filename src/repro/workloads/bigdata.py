@@ -1,0 +1,346 @@
+"""Elastic big-data analytics jobs (Spark-like stage DAGs).
+
+A job is a DAG of stages; each stage has a CPU work volume and an input
+volume read from the shared object store. Executors (the job's pods)
+process the current stage with a fluid model: per-executor progress is
+limited by whichever is scarcer — CPU or input bandwidth — and input
+bandwidth depends on data locality (local blocks stream over disk
+bandwidth, remote ones over penalized network bandwidth).
+
+Stages execute in topological order, one at a time (the common Spark
+shape where a shuffle barrier separates stages); parallelism within a
+stage is capped by its task count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import networkx as nx
+
+from repro.cluster.api import ClusterAPI
+from repro.cluster.pod import Pod, WorkloadClass
+from repro.cluster.resources import ResourceVector
+from repro.sim.engine import Engine
+from repro.storage.objectstore import ObjectStore
+from repro.workloads.base import Application
+
+
+@dataclass
+class Stage:
+    """One stage of the job DAG.
+
+    Parameters
+    ----------
+    name:
+        Stage name, unique within the job.
+    work_cpu_seconds:
+        Total CPU work of the stage.
+    input_mb:
+        Total bytes read (from the dataset for source stages, shuffle
+        data otherwise).
+    deps:
+        Names of stages that must complete first.
+    max_parallelism:
+        Task count: at most this many executors contribute concurrently.
+    accel_speedup:
+        CPU-work speedup an executor enjoys on an accelerator node (the
+        EVOLVE FPGA path); 1.0 means the stage is not accelerable.
+    """
+
+    name: str
+    work_cpu_seconds: float
+    input_mb: float = 0.0
+    deps: tuple[str, ...] = ()
+    max_parallelism: int = 64
+    accel_speedup: float = 1.0
+    remaining_work: float = field(init=False)
+    remaining_input: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.work_cpu_seconds <= 0:
+            raise ValueError(f"stage {self.name!r}: work must be positive")
+        if self.input_mb < 0:
+            raise ValueError(f"stage {self.name!r}: input must be non-negative")
+        if self.max_parallelism < 1:
+            raise ValueError(f"stage {self.name!r}: max_parallelism must be ≥ 1")
+        if self.accel_speedup < 1:
+            raise ValueError(f"stage {self.name!r}: accel_speedup must be ≥ 1")
+        self.remaining_work = self.work_cpu_seconds
+        self.remaining_input = self.input_mb
+
+    @property
+    def complete(self) -> bool:
+        return self.remaining_work <= 1e-9 and self.remaining_input <= 1e-9
+
+    @property
+    def progress(self) -> float:
+        done_work = self.work_cpu_seconds - self.remaining_work
+        return done_work / self.work_cpu_seconds
+
+
+def _validate_dag(stages: Sequence[Stage]) -> list[Stage]:
+    """Check the stage graph is a DAG and return topological order."""
+    by_name = {s.name: s for s in stages}
+    if len(by_name) != len(stages):
+        raise ValueError("duplicate stage names")
+    graph = nx.DiGraph()
+    graph.add_nodes_from(by_name)
+    for stage in stages:
+        for dep in stage.deps:
+            if dep not in by_name:
+                raise ValueError(f"stage {stage.name!r} depends on unknown {dep!r}")
+            graph.add_edge(dep, stage.name)
+    if not nx.is_directed_acyclic_graph(graph):
+        raise ValueError("stage dependencies contain a cycle")
+    # Stable topological order: break ties by submission order.
+    order = list(nx.lexicographical_topological_sort(
+        graph, key=lambda n: list(by_name).index(n)
+    ))
+    return [by_name[name] for name in order]
+
+
+class BigDataJob(Application):
+    """An elastic analytics job whose executors are cluster pods.
+
+    Parameters
+    ----------
+    stages:
+        The stage DAG.
+    store / dataset:
+        Object store and bucket holding the job's input; source stages
+        (no deps) read it with locality-dependent bandwidth. Jobs without
+        a dataset read everything at disk bandwidth.
+    deadline:
+        Optional absolute completion deadline, used by DeadlinePLO.
+    accelerator:
+        Accelerator class this job's stages can use (matched against the
+        node label ``accelerator``). Sets a soft scheduling preference on
+        the executors; stages with ``accel_speedup > 1`` retire CPU work
+        faster on matching nodes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        engine: Engine,
+        api: ClusterAPI,
+        *,
+        stages: Sequence[Stage],
+        initial_allocation: ResourceVector,
+        initial_executors: int = 2,
+        store: ObjectStore | None = None,
+        dataset: str | None = None,
+        deadline: float | None = None,
+        accelerator: str | None = None,
+        tick_interval: float = 1.0,
+        priority: int = 5,
+        labels: Mapping[str, str] | None = None,
+        **kwargs,
+    ):
+        if accelerator:
+            kwargs.setdefault("node_preference", {"accelerator": accelerator})
+        super().__init__(
+            name,
+            engine,
+            api,
+            workload_class=WorkloadClass.BIGDATA,
+            initial_allocation=initial_allocation,
+            initial_replicas=initial_executors,
+            tick_interval=tick_interval,
+            priority=priority,
+            labels=labels,
+            **kwargs,
+        )
+        self.accelerator = accelerator
+        self.stages = _validate_dag(stages)
+        self.store = store
+        self.dataset = dataset
+        self.deadline = deadline
+        if dataset is not None and store is None:
+            raise ValueError("dataset requires a store")
+        if dataset is not None:
+            self.labels.setdefault("dataset", dataset)
+        self.submitted_at: float | None = None
+        self.completed_at: float | None = None
+        self.current_throughput = 0.0  # cpu-seconds of work retired per second
+        self._total_work = sum(s.work_cpu_seconds for s in self.stages)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        self.submitted_at = self.engine.now
+        super().start()
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    def makespan(self) -> float | None:
+        """Submission-to-completion time, if finished."""
+        if self.completed_at is None or self.submitted_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    # -- dynamics ------------------------------------------------------------------
+
+    def runnable_stages(self) -> list[Stage]:
+        """Incomplete stages whose dependencies are all complete, in
+        topological order. Independent DAG branches run concurrently."""
+        done = {s.name for s in self.stages if s.complete}
+        return [
+            stage
+            for stage in self.stages
+            if not stage.complete and all(d in done for d in stage.deps)
+        ]
+
+    def current_stage(self) -> Stage | None:
+        """First runnable stage (kept for single-branch DAGs and tests)."""
+        runnable = self.runnable_stages()
+        return runnable[0] if runnable else None
+
+    def progress(self) -> float:
+        """Work-weighted completion fraction across all stages."""
+        if self._total_work <= 0:
+            return 1.0
+        done = sum(s.work_cpu_seconds - s.remaining_work for s in self.stages)
+        return min(1.0, done / self._total_work)
+
+    def _input_bandwidth(self, pod: Pod, stage: Stage) -> float:
+        """Effective MB/s this executor can read for ``stage``."""
+        is_source = not stage.deps
+        if is_source and self.dataset is not None and self.store is not None:
+            assert pod.node_name is not None
+            local = self.store.locality_fraction(self.dataset, pod.node_name)
+            remote_bw = pod.allocation.net_bw * self.store.remote_penalty
+            return local * pod.allocation.disk_bw + (1 - local) * remote_bw
+        # Shuffle input / no dataset: charged against disk bandwidth.
+        return pod.allocation.disk_bw
+
+    def _assign_executors(
+        self, stages: list[Stage], executors: list[Pod]
+    ) -> dict[str, Stage]:
+        """Distribute executors over runnable stages.
+
+        Round-robin in topological order, honoring each stage's
+        ``max_parallelism``; leftover executors idle. Returns a map from
+        pod name to its stage.
+        """
+        assignment: dict[str, Stage] = {}
+        counts = {stage.name: 0 for stage in stages}
+        pending = list(executors)
+        while pending:
+            open_stages = [
+                s for s in stages if counts[s.name] < s.max_parallelism
+            ]
+            if not open_stages:
+                break
+            # Fill the emptiest open stage first (topo order breaks ties).
+            target = min(open_stages, key=lambda s: counts[s.name])
+            pod = pending.pop(0)
+            assignment[pod.name] = target
+            counts[target.name] += 1
+        return assignment
+
+    def _advance_executor(self, pod: Pod, stage: Stage, dt: float) -> float:
+        """Run one executor on one stage for ``dt``; returns retired work.
+
+        Input and work drain proportionally: an executor that has read
+        fraction f of its input share can have completed at most f of its
+        work share; the fluid model couples them via the min() below.
+        """
+        cpu_rate = pod.allocation.cpu  # cpu-seconds per second
+        if (
+            stage.accel_speedup > 1.0
+            and self.accelerator is not None
+            and pod.node_name is not None
+            and self.api.get_node(pod.node_name).labels.get("accelerator")
+            == self.accelerator
+        ):
+            cpu_rate *= stage.accel_speedup
+        if stage.input_mb > 0 and stage.remaining_input > 0:
+            in_bw = self._input_bandwidth(pod, stage)
+            work_frac_rate = cpu_rate / stage.work_cpu_seconds
+            input_frac_rate = (
+                in_bw / stage.input_mb if stage.input_mb > 0 else math.inf
+            )
+            frac_rate = min(work_frac_rate, input_frac_rate)
+            stage_work = frac_rate * stage.work_cpu_seconds * dt
+            stage_input = frac_rate * stage.input_mb * dt
+            cpu_used = stage_work / dt
+            io_used = min(in_bw, stage_input / dt)
+        else:
+            stage_work = cpu_rate * dt
+            stage_input = 0.0
+            cpu_used = cpu_rate
+            io_used = 0.0
+        stage_work = min(stage_work, stage.remaining_work)
+        stage_input = min(stage_input, stage.remaining_input)
+        stage.remaining_work = max(0.0, stage.remaining_work - stage_work)
+        stage.remaining_input = max(0.0, stage.remaining_input - stage_input)
+
+        is_source = not stage.deps
+        local_frac = 1.0
+        if is_source and self.dataset is not None and self.store is not None:
+            assert pod.node_name is not None
+            local_frac = self.store.locality_fraction(self.dataset, pod.node_name)
+        pod.record_usage(
+            ResourceVector(
+                cpu=min(cpu_used, pod.allocation.cpu),
+                memory=min(pod.allocation.memory, 0.5 + 0.1 * pod.allocation.cpu),
+                disk_bw=io_used * local_frac,
+                net_bw=io_used * (1 - local_frac),
+            )
+        )
+        return stage_work
+
+    def tick(self, dt: float, now: float) -> None:
+        if self.done:
+            return
+        runnable = self.runnable_stages()
+        if not runnable:
+            self._complete(now)
+            return
+        executors = self.running_pods()
+        assignment = self._assign_executors(runnable, executors)
+        work_retired = 0.0
+        for pod in executors:
+            stage = assignment.get(pod.name)
+            if stage is None:
+                pod.record_usage(
+                    ResourceVector(memory=min(0.25, pod.allocation.memory))
+                )
+                continue
+            work_retired += self._advance_executor(pod, stage, dt)
+        self.current_throughput = work_retired / dt
+        if all(s.complete for s in self.stages):
+            self._complete(now)
+
+    def _complete(self, now: float) -> None:
+        if self.completed_at is not None:
+            return
+        self.completed_at = now
+        self.current_throughput = 0.0
+        for pod in self.pods():
+            if not pod.terminal:
+                self.api.mark_finished(pod.name, succeeded=True)
+        self._pod_names.clear()
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
+        self.finished = True
+
+    # -- metrics -------------------------------------------------------------------
+
+    def sample_metrics(self, now: float) -> Mapping[str, float]:
+        metrics = dict(super().sample_metrics(now))
+        metrics.update(
+            {
+                "progress": self.progress(),
+                "throughput": self.current_throughput,
+                "stages_done": float(sum(1 for s in self.stages if s.complete)),
+            }
+        )
+        return metrics

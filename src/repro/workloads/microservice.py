@@ -1,0 +1,299 @@
+"""Latency-sensitive microservice model.
+
+Each replica is an M/M/1-style queueing station whose service rate is the
+*minimum* over per-resource capacities — CPU, disk bandwidth, and network
+bandwidth each impose their own request-rate ceiling, and insufficient
+memory inflates service time (thrashing). This multi-resource coupling is
+deliberately what makes single-resource (CPU-only) autoscalers fail: when
+the bottleneck is I/O, adding CPU does not move latency.
+
+The model advances in discrete ticks with explicit backlog, so transients
+(load spikes before the controller reacts) produce realistic latency
+excursions rather than instantaneous equilibria.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.cluster.api import ClusterAPI
+from repro.cluster.pod import Pod, WorkloadClass
+from repro.cluster.resources import ResourceVector
+from repro.sim.engine import Engine
+from repro.workloads.base import Application
+from repro.workloads.traces import LoadTrace
+
+
+@dataclass(frozen=True)
+class ServiceDemands:
+    """Per-request resource demands of a service.
+
+    Parameters
+    ----------
+    cpu_seconds:
+        CPU-seconds consumed per request.
+    disk_mb / net_mb:
+        Disk and network bytes (MB) moved per request.
+    mem_base:
+        Fixed per-replica memory footprint (GiB).
+    mem_per_inflight:
+        Additional memory per in-flight request (GiB).
+    base_latency:
+        Service time (s) at zero load with ample resources.
+    """
+
+    cpu_seconds: float
+    disk_mb: float = 0.0
+    net_mb: float = 0.0
+    mem_base: float = 0.25
+    mem_per_inflight: float = 0.001
+    base_latency: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.cpu_seconds <= 0:
+            raise ValueError("cpu_seconds must be positive")
+        if min(self.disk_mb, self.net_mb, self.mem_base, self.mem_per_inflight) < 0:
+            raise ValueError("demands must be non-negative")
+        if self.base_latency <= 0:
+            raise ValueError("base_latency must be positive")
+
+    def capacity(self, allocation: ResourceVector) -> tuple[float, str]:
+        """Max sustainable request rate under ``allocation``, and which
+        resource imposes it (ignoring memory, handled via pressure)."""
+        caps: list[tuple[float, str]] = [(allocation.cpu / self.cpu_seconds, "cpu")]
+        if self.disk_mb > 0:
+            caps.append((allocation.disk_bw / self.disk_mb, "disk_bw"))
+        if self.net_mb > 0:
+            caps.append((allocation.net_bw / self.net_mb, "net_bw"))
+        return min(caps, key=lambda c: c[0])
+
+
+@dataclass(frozen=True)
+class DemandPhase:
+    """A demand profile taking effect at ``start_time`` (phase shifts)."""
+
+    start_time: float
+    demands: ServiceDemands
+
+
+class _ReplicaState:
+    """Mutable queueing state of one replica."""
+
+    __slots__ = ("backlog", "last_wait")
+
+    def __init__(self) -> None:
+        self.backlog = 0.0       # queued requests
+        self.last_wait = 0.0     # previous-tick response time (s)
+
+
+class Microservice(Application):
+    """A horizontally- and vertically-scalable user-facing service.
+
+    Parameters
+    ----------
+    trace:
+        Offered load over time (req/s), split evenly across running
+        replicas by an ideal load balancer.
+    demands:
+        Per-request demand profile, or a sequence of :class:`DemandPhase`
+        for workloads whose bottleneck shifts over time.
+    tail_factor:
+        Multiplier turning mean response time into the reported latency
+        sample (≈ p99/mean for the modelled service).
+    max_latency:
+        Reported-latency ceiling (s); stands in for client timeouts.
+    queue_limit_seconds:
+        Admission control: each replica sheds arrivals beyond
+        ``capacity × queue_limit_seconds`` of backlog, as client timeouts
+        and load shedders do — so an overloaded service recovers once
+        load drops instead of draining an unbounded queue forever.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        engine: Engine,
+        api: ClusterAPI,
+        *,
+        trace: LoadTrace,
+        demands: ServiceDemands | Sequence[DemandPhase],
+        initial_allocation: ResourceVector,
+        initial_replicas: int = 1,
+        tick_interval: float = 1.0,
+        tail_factor: float = 1.0,
+        max_latency: float = 30.0,
+        queue_limit_seconds: float = 60.0,
+        priority: int = 10,
+        labels: Mapping[str, str] | None = None,
+        **kwargs,
+    ):
+        super().__init__(
+            name,
+            engine,
+            api,
+            workload_class=WorkloadClass.MICROSERVICE,
+            initial_allocation=initial_allocation,
+            initial_replicas=initial_replicas,
+            tick_interval=tick_interval,
+            priority=priority,
+            labels=labels,
+            **kwargs,
+        )
+        self.trace = trace
+        if isinstance(demands, ServiceDemands):
+            self._phases = [DemandPhase(0.0, demands)]
+        else:
+            phases = sorted(demands, key=lambda p: p.start_time)
+            if not phases:
+                raise ValueError("need at least one demand phase")
+            self._phases = phases
+        if tail_factor < 1.0:
+            raise ValueError("tail_factor must be ≥ 1")
+        if queue_limit_seconds <= 0:
+            raise ValueError("queue_limit_seconds must be positive")
+        self.tail_factor = tail_factor
+        self.max_latency = max_latency
+        self.queue_limit_seconds = queue_limit_seconds
+        self.total_dropped = 0.0
+        self.current_drop_rate = 0.0
+        self._replica_state: dict[str, _ReplicaState] = {}
+        # Last-tick aggregates, exported on scrape.
+        self.current_latency = self._phases[0].demands.base_latency
+        self.current_throughput = 0.0
+        self.current_offered = 0.0
+        self.current_backlog = 0.0
+        self.current_bottleneck = "cpu"
+        self.total_served = 0.0
+
+    # -- demand schedule ------------------------------------------------------
+
+    def demands_at(self, t: float) -> ServiceDemands:
+        """Demand profile in effect at time ``t``."""
+        current = self._phases[0].demands
+        for phase in self._phases:
+            if t >= phase.start_time:
+                current = phase.demands
+            else:
+                break
+        return current
+
+    # -- dynamics -----------------------------------------------------------------
+
+    def tick(self, dt: float, now: float) -> None:
+        demands = self.demands_at(now)
+        offered = max(0.0, self.trace.rate(now))
+        running = self.running_pods()
+        self.current_offered = offered
+
+        # Drop state of replicas that went away.
+        live = {p.name for p in running}
+        for name in list(self._replica_state):
+            if name not in live:
+                del self._replica_state[name]
+
+        if not running:
+            # Nothing serving: queue at the front door, report timeout-level
+            # latency whenever there is load.
+            self.current_throughput = 0.0
+            self.current_latency = self.max_latency if offered > 0 else demands.base_latency
+            self.current_backlog = 0.0
+            return
+
+        per_replica = offered / len(running)
+        served_total = 0.0
+        dropped_total = 0.0
+        wait_sum = 0.0
+        backlog_total = 0.0
+        bottleneck_votes: dict[str, int] = {}
+
+        for pod in running:
+            state = self._replica_state.setdefault(pod.name, _ReplicaState())
+            wait, served, dropped, bottleneck = self._step_replica(
+                state, pod, per_replica, demands, dt
+            )
+            served_total += served
+            dropped_total += dropped
+            wait_sum += wait
+            backlog_total += state.backlog
+            bottleneck_votes[bottleneck] = bottleneck_votes.get(bottleneck, 0) + 1
+
+        self.total_dropped += dropped_total
+        self.current_drop_rate = dropped_total / dt
+        self.current_throughput = served_total / dt
+        self.current_latency = min(
+            self.max_latency, (wait_sum / len(running)) * self.tail_factor
+        )
+        self.current_backlog = backlog_total
+        self.current_bottleneck = max(bottleneck_votes, key=bottleneck_votes.get)
+        self.total_served += served_total
+
+    def _step_replica(
+        self,
+        state: _ReplicaState,
+        pod: Pod,
+        arrival_rate: float,
+        demands: ServiceDemands,
+        dt: float,
+    ) -> tuple[float, float, float, str]:
+        """Advance one replica; returns (wait, served, dropped, bottleneck)."""
+        mu_raw, bottleneck = demands.capacity(pod.allocation)
+        if mu_raw <= 0:
+            dropped = state.backlog + arrival_rate * dt
+            state.backlog = 0.0
+            state.last_wait = self.max_latency
+            pod.record_usage(ResourceVector.zero())
+            return self.max_latency, 0.0, dropped, bottleneck
+
+        # Memory pressure from in-flight requests (Little's law on the
+        # previous tick's wait, bounded to keep the fixed point stable).
+        inflight = arrival_rate * min(state.last_wait, 5.0)
+        required_mem = demands.mem_base + demands.mem_per_inflight * inflight
+        mem = max(pod.allocation.memory, 1e-9)
+        pressure = max(1.0, required_mem / mem)
+        if pressure > 1.0:
+            bottleneck = "memory"
+        mu = mu_raw / pressure
+
+        arrivals = arrival_rate * dt
+        served = min(state.backlog + arrivals, mu * dt)
+        state.backlog = max(0.0, state.backlog + arrivals - served)
+        # Shed whatever exceeds the admission-control window.
+        backlog_cap = mu * self.queue_limit_seconds
+        dropped = max(0.0, state.backlog - backlog_cap)
+        state.backlog -= dropped
+
+        rho = min(arrival_rate / mu, 0.995)
+        service_time = demands.base_latency * pressure
+        wait = service_time / (1.0 - rho) + (state.backlog / mu if mu > 0 else 0.0)
+        wait = min(wait, self.max_latency)
+        state.last_wait = wait
+
+        served_rate = served / dt
+        pod.record_usage(
+            ResourceVector(
+                cpu=served_rate * demands.cpu_seconds,
+                memory=min(required_mem, pod.allocation.memory),
+                disk_bw=served_rate * demands.disk_mb,
+                net_bw=served_rate * demands.net_mb,
+            )
+        )
+        return wait, served, dropped, bottleneck
+
+    # -- metrics --------------------------------------------------------------------
+
+    def sample_metrics(self, now: float) -> Mapping[str, float]:
+        metrics = dict(super().sample_metrics(now))
+        metrics.update(
+            {
+                "latency": self.current_latency,
+                "throughput": self.current_throughput,
+                "offered": self.current_offered,
+                "backlog": self.current_backlog,
+                "served_total": self.total_served,
+                "drop_rate": self.current_drop_rate,
+                "dropped_total": self.total_dropped,
+            }
+        )
+        return metrics

@@ -1,0 +1,117 @@
+"""Unit tests for cost accounting."""
+
+import pytest
+
+from repro.analysis.cost import (
+    CostReport,
+    PriceSheet,
+    app_cost,
+    cluster_provisioned_cost,
+)
+from repro.cluster.resources import ResourceVector
+
+
+class TestPriceSheet:
+    def test_rate(self):
+        prices = PriceSheet(cpu_hour=1.0, memory_gib_hour=0.1,
+                            disk_bw_mbs_hour=0.01, net_bw_mbs_hour=0.001)
+        alloc = ResourceVector(cpu=2, memory=10, disk_bw=100, net_bw=1000)
+        assert prices.rate(alloc) == pytest.approx(2 + 1 + 1 + 1)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            PriceSheet(cpu_hour=-1)
+
+    def test_default_ordering_sane(self):
+        prices = PriceSheet()
+        # A core-hour costs more than a GiB-hour, which costs more than
+        # a MB/s-hour of bandwidth.
+        assert prices.cpu_hour > prices.memory_gib_hour
+        assert prices.memory_gib_hour > prices.disk_bw_mbs_hour
+
+
+class TestAppCost:
+    def test_constant_allocation(self, engine, collector):
+        # 2 cores held for one hour at $1/core-hour = $2.
+        collector.record("app/svc/alloc/cpu", 2.0)
+        engine.run_until(3600.0)
+        report = app_cost(
+            collector, "svc",
+            prices=PriceSheet(cpu_hour=1.0, memory_gib_hour=0,
+                              disk_bw_mbs_hour=0, net_bw_mbs_hour=0),
+            start=0.0, end=3600.0,
+        )
+        assert report.total == pytest.approx(2.0)
+        assert report.per_resource["cpu"] == pytest.approx(2.0)
+        assert report.per_resource["memory"] == 0.0
+
+    def test_allocation_change_mid_window(self, engine, collector):
+        collector.record("app/svc/alloc/cpu", 4.0)
+        engine.run_until(1800.0)
+        collector.record("app/svc/alloc/cpu", 2.0)
+        engine.run_until(3600.0)
+        report = app_cost(
+            collector, "svc",
+            prices=PriceSheet(cpu_hour=1.0, memory_gib_hour=0,
+                              disk_bw_mbs_hour=0, net_bw_mbs_hour=0),
+            start=0.0, end=3600.0,
+        )
+        assert report.total == pytest.approx(3.0)  # (4×0.5h + 2×0.5h)
+
+    def test_missing_series_is_zero(self, engine, collector):
+        engine.run_until(100.0)
+        report = app_cost(collector, "ghost", start=0.0, end=100.0)
+        assert report.total == 0.0
+
+    def test_invalid_window(self, engine, collector):
+        with pytest.raises(ValueError):
+            app_cost(collector, "svc", start=10.0, end=10.0)
+
+    def test_default_end_is_now(self, engine, collector):
+        collector.record("app/svc/alloc/cpu", 1.0)
+        engine.run_until(7200.0)
+        report = app_cost(collector, "svc")
+        assert report.window == pytest.approx(7200.0)
+
+
+class TestClusterCost:
+    def test_provisioned_cost(self):
+        cost = cluster_provisioned_cost(
+            ResourceVector(cpu=10, memory=0, disk_bw=0, net_bw=0),
+            7200.0,
+            prices=PriceSheet(cpu_hour=0.5, memory_gib_hour=0,
+                              disk_bw_mbs_hour=0, net_bw_mbs_hour=0),
+        )
+        assert cost == pytest.approx(10.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_provisioned_cost(ResourceVector(cpu=1), -1)
+
+
+def test_integration_cost_tracks_reclaim(engine, api, collector):
+    """An adaptive run should bill less than its static twin."""
+    from repro.platform.config import ClusterSpec, PlatformConfig
+    from repro.platform.evolve import EvolvePlatform
+    from repro.workloads.microservice import ServiceDemands
+    from repro.workloads.plo import LatencyPLO
+    from repro.workloads.traces import ConstantTrace
+
+    def run(policy):
+        platform = EvolvePlatform(
+            cluster_spec=ClusterSpec(node_count=3),
+            config=PlatformConfig(seed=2),
+            policy=policy,
+        )
+        platform.deploy_microservice(
+            "svc", trace=ConstantTrace(30),
+            demands=ServiceDemands(cpu_seconds=0.01, base_latency=0.01),
+            allocation=ResourceVector(cpu=4, memory=8, disk_bw=200, net_bw=200),
+            plo=LatencyPLO(0.1, window=30),
+        )
+        platform.run(3600.0)
+        return app_cost(platform.collector, "svc").total
+
+    static_bill = run("static")
+    adaptive_bill = run("adaptive")
+    assert adaptive_bill < static_bill / 2

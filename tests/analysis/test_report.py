@@ -1,0 +1,58 @@
+"""Unit tests for table formatting and series export."""
+
+import pytest
+
+from repro.analysis.report import format_table, series_to_rows
+from repro.metrics.timeseries import TimeSeries
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(
+            ["policy", "violations"],
+            [["static", 0.42], ["adaptive", 0.01]],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("policy")
+        assert "adaptive" in lines[3]
+        # All rows equally wide.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456], [12345.6], [0.0001234]])
+        assert "0.123" in text
+        assert "1.23e+04" in text or "12345" in text or "1.23e4" in text
+        assert "0.000123" in text
+
+    def test_nan_rendered(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "nan" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestSeriesToRows:
+    def test_resamples_at_step(self):
+        ts = TimeSeries()
+        for t in range(0, 100, 10):
+            ts.append(float(t), float(t))
+        rows = series_to_rows(ts, step=20.0, start=0.0, end=80.0)
+        assert [t for t, _v in rows] == [0.0, 20.0, 40.0, 60.0, 80.0]
+        assert all(v == t for t, v in rows)
+
+    def test_skips_before_first_sample(self):
+        ts = TimeSeries()
+        ts.append(50.0, 1.0)
+        rows = series_to_rows(ts, step=20.0, start=0.0, end=100.0)
+        assert rows[0][0] >= 50.0
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            series_to_rows(TimeSeries(), step=0.0, start=0.0, end=10.0)

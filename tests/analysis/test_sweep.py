@@ -1,0 +1,73 @@
+"""Unit tests for the sweep helper."""
+
+import pytest
+
+from repro.analysis.sweep import SweepResult, sweep
+
+
+def fake_run(params):
+    return {"score": params["a"] * 10 + params["b"],
+            "cost": params["a"]}
+
+
+class TestSweep:
+    def test_cartesian_product_order(self):
+        result = sweep({"a": [1, 2], "b": [3, 4]}, fake_run)
+        assert [(p["a"], p["b"]) for p in result.points] == [
+            (1, 3), (1, 4), (2, 3), (2, 4)
+        ]
+
+    def test_columns_and_rows(self):
+        result = sweep({"a": [1], "b": [2]}, fake_run)
+        assert result.columns == ["a", "b", "cost", "score"]
+        assert result.rows == [[1, 2, 1, 12]]
+
+    def test_filter_and_series(self):
+        result = sweep({"a": [1, 2], "b": [3, 4]}, fake_run)
+        assert len(result.filter(a=1)) == 2
+        assert result.series("b", "score", a=2) == [(3, 23), (4, 24)]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            sweep({}, fake_run)
+        with pytest.raises(ValueError):
+            sweep({"a": []}, fake_run)
+
+    def test_inconsistent_metrics_rejected(self):
+        calls = [0]
+
+        def flaky(params):
+            calls[0] += 1
+            return {"x": 1} if calls[0] == 1 else {"y": 2}
+
+        with pytest.raises(ValueError, match="inconsistent"):
+            sweep({"a": [1, 2]}, flaky)
+
+    def test_with_real_platform(self):
+        """End to end: a two-point sweep over policies."""
+        from repro.cluster.resources import ResourceVector
+        from repro.platform.config import ClusterSpec, PlatformConfig
+        from repro.platform.evolve import EvolvePlatform
+        from repro.workloads.microservice import ServiceDemands
+        from repro.workloads.plo import LatencyPLO
+        from repro.workloads.traces import ConstantTrace
+
+        def run_point(params):
+            platform = EvolvePlatform(
+                cluster_spec=ClusterSpec(node_count=3),
+                config=PlatformConfig(seed=1),
+                policy=params["policy"],
+            )
+            platform.deploy_microservice(
+                "svc", trace=ConstantTrace(150),
+                demands=ServiceDemands(cpu_seconds=0.01, base_latency=0.01),
+                allocation=ResourceVector(cpu=0.5, memory=1, disk_bw=20,
+                                          net_bw=20),
+                plo=LatencyPLO(0.05, window=30),
+            )
+            platform.run(900.0)
+            return {"violations": platform.result().violation_fraction("svc")}
+
+        result = sweep({"policy": ["static", "adaptive"]}, run_point)
+        static, adaptive = result.points
+        assert static["violations"] > adaptive["violations"]

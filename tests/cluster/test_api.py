@@ -1,0 +1,84 @@
+"""Unit tests for the ClusterAPI facade."""
+
+import pytest
+
+from repro.cluster.events import PodStarted, PodSubmitted
+from repro.cluster.pod import PodPhase, WorkloadClass
+from repro.cluster.resources import ResourceVector
+from tests.conftest import make_spec
+
+
+def test_create_and_get_pod(api):
+    pod = api.create_pod(make_spec("p0"))
+    assert api.get_pod("p0") is pod
+    assert api.pending_pods() == [pod]
+
+
+def test_list_pods_selectors(api):
+    api.create_pod(make_spec("m0", app="svc"))
+    api.create_pod(
+        make_spec("b0", app="job", workload_class=WorkloadClass.BIGDATA)
+    )
+    assert {p.name for p in api.list_pods()} == {"m0", "b0"}
+    assert [p.name for p in api.list_pods(app="svc")] == ["m0"]
+    assert [p.name for p in api.list_pods(workload_class=WorkloadClass.BIGDATA)] == ["b0"]
+    assert [p.name for p in api.list_pods(phase=PodPhase.PENDING)] != []
+
+
+def test_bind_and_running_pods(engine, api):
+    api.create_pod(make_spec("p0", app="svc"))
+    api.bind_pod("p0", "node-0")
+    assert api.running_pods("svc") == []
+    engine.run_until(10.0)
+    assert [p.name for p in api.running_pods("svc")] == ["p0"]
+
+
+def test_delete_pod(api):
+    api.create_pod(make_spec("p0"))
+    api.delete_pod("p0")
+    assert api.get_pod("p0").phase == PodPhase.EVICTED
+
+
+def test_patch_pod_allocation(engine, api):
+    api.create_pod(make_spec("p0", cpu=1))
+    api.bind_pod("p0", "node-0")
+    engine.run_until(6.0)
+    target = api.get_pod("p0").allocation.replace(cpu=2)
+    assert api.can_resize("p0", target)
+    assert api.patch_pod_allocation("p0", target)
+    engine.run_until(8.0)
+    assert api.get_pod("p0").allocation.cpu == 2
+
+
+def test_mark_finished(engine, api):
+    api.create_pod(make_spec("p0"))
+    api.bind_pod("p0", "node-0")
+    engine.run_until(6.0)
+    api.mark_finished("p0")
+    assert api.get_pod("p0").phase == PodPhase.SUCCEEDED
+
+
+def test_node_queries(api):
+    assert len(api.list_nodes()) == 3
+    assert api.get_node("node-1").name == "node-1"
+    assert api.total_allocatable().cpu == 48
+    assert api.total_allocated().is_zero()
+    assert api.total_usage().is_zero()
+
+
+def test_watch_roundtrip(engine, api):
+    seen = []
+    unsub = api.watch(PodSubmitted, seen.append)
+    api.watch(PodStarted, seen.append)
+    api.create_pod(make_spec("p0"))
+    api.bind_pod("p0", "node-0")
+    engine.run_until(10.0)
+    assert [type(e).__name__ for e in seen] == ["PodSubmitted", "PodStarted"]
+    unsub()
+    api.create_pod(make_spec("p1"))
+    assert len(seen) == 2
+
+
+def test_now_tracks_engine(engine, api):
+    engine.run_until(12.5)
+    assert api.now == 12.5

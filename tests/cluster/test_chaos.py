@@ -1,0 +1,129 @@
+"""Unit tests for failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.chaos import ChaosMonkey, FailureInjector
+from repro.cluster.cluster import ClusterError
+from repro.cluster.pod import PodPhase
+from repro.cluster.resources import ResourceVector
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def injector(cluster):
+    return FailureInjector(cluster)
+
+
+class TestFailureInjector:
+    def test_fail_evicts_resident_pods(self, engine, cluster, injector):
+        cluster.submit(make_spec("a", cpu=2))
+        cluster.submit(make_spec("b", cpu=2))
+        cluster.bind("a", "node-0")
+        cluster.bind("b", "node-1")
+        engine.run_until(10.0)
+        failure = injector.fail_node("node-0")
+        assert failure.evicted_pods == ("a",)
+        assert cluster.get_pod("a").phase == PodPhase.EVICTED
+        assert cluster.get_pod("b").phase == PodPhase.RUNNING
+        cluster.verify_invariants()
+
+    def test_failed_node_rejects_bindings(self, engine, cluster, injector):
+        injector.fail_node("node-0")
+        cluster.submit(make_spec("p"))
+        with pytest.raises(Exception):
+            cluster.bind("p", "node-0")
+
+    def test_failed_node_has_zero_capacity(self, cluster, injector):
+        injector.fail_node("node-0")
+        node = cluster.get_node("node-0")
+        assert node.allocatable.is_zero()
+        assert not node.can_fit(ResourceVector(cpu=0.1))
+
+    def test_double_failure_rejected(self, cluster, injector):
+        injector.fail_node("node-0")
+        with pytest.raises(ClusterError):
+            injector.fail_node("node-0")
+
+    def test_recover_restores_capacity(self, engine, cluster, injector):
+        original = cluster.get_node("node-0").allocatable
+        injector.fail_node("node-0")
+        injector.recover_node("node-0")
+        assert cluster.get_node("node-0").allocatable == original
+        assert not injector.is_failed("node-0")
+        # Bindable again.
+        cluster.submit(make_spec("p"))
+        cluster.bind("p", "node-0")
+
+    def test_recover_unfailed_rejected(self, cluster, injector):
+        with pytest.raises(ClusterError):
+            injector.recover_node("node-0")
+
+    def test_healthy_nodes_listing(self, cluster, injector):
+        injector.fail_node("node-1")
+        assert [n.name for n in injector.healthy_nodes()] == ["node-0", "node-2"]
+        assert injector.failed_nodes() == ["node-1"]
+
+    def test_failure_log(self, engine, cluster, injector):
+        engine.run_until(42.0)
+        injector.fail_node("node-0")
+        assert injector.failures[0].time == 42.0
+        assert injector.failures[0].node_name == "node-0"
+
+
+class TestChaosMonkey:
+    def test_strikes_and_repairs(self, engine, cluster, injector):
+        monkey = ChaosMonkey(
+            engine, injector, np.random.default_rng(1),
+            mtbf=100.0, repair_time=50.0,
+        )
+        monkey.start()
+        engine.run_until(2000.0)
+        assert len(injector.failures) >= 5
+        assert injector.recoveries >= len(injector.failures) - 1
+
+    def test_respects_concurrency_cap(self, engine, cluster, injector):
+        monkey = ChaosMonkey(
+            engine, injector, np.random.default_rng(2),
+            mtbf=10.0, repair_time=10_000.0, max_concurrent_failures=2,
+        )
+        monkey.start()
+        engine.run_until(500.0)
+        assert len(injector.failed_nodes()) <= 2
+
+    def test_stop_halts_strikes(self, engine, cluster, injector):
+        monkey = ChaosMonkey(
+            engine, injector, np.random.default_rng(3),
+            mtbf=50.0, repair_time=10.0,
+        )
+        monkey.start()
+        engine.run_until(200.0)
+        count = len(injector.failures)
+        monkey.stop()
+        engine.run_until(2000.0)
+        assert len(injector.failures) == count
+
+    def test_deterministic_given_seed(self, engine, cluster):
+        def run(seed):
+            from tests.conftest import make_cluster
+            from repro.sim.engine import Engine
+            eng = Engine()
+            clus = make_cluster(eng)
+            inj = FailureInjector(clus)
+            monkey = ChaosMonkey(eng, inj, np.random.default_rng(seed),
+                                 mtbf=100.0, repair_time=30.0)
+            monkey.start()
+            eng.run_until(1000.0)
+            return [(f.time, f.node_name) for f in inj.failures]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_invalid_params(self, engine, cluster, injector):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ChaosMonkey(engine, injector, rng, mtbf=0)
+        with pytest.raises(ValueError):
+            ChaosMonkey(engine, injector, rng, repair_time=0)
+        with pytest.raises(ValueError):
+            ChaosMonkey(engine, injector, rng, max_concurrent_failures=0)

@@ -1,0 +1,81 @@
+"""Unit tests for the event bus."""
+
+from repro.cluster.events import (
+    ClusterEvent,
+    EventBus,
+    PodScheduled,
+    PodSubmitted,
+)
+
+
+def test_subscribe_receives_matching_events():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(PodSubmitted, seen.append)
+    bus.publish(PodSubmitted(1.0, "p", "app"))
+    assert len(seen) == 1
+    assert seen[0].pod_name == "p"
+
+
+def test_subscriber_filters_by_type():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(PodScheduled, seen.append)
+    bus.publish(PodSubmitted(1.0, "p", "app"))
+    assert seen == []
+
+
+def test_base_class_subscription_catches_all():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(ClusterEvent, seen.append)
+    bus.publish(PodSubmitted(1.0, "p", "app"))
+    bus.publish(PodScheduled(2.0, "p", "node-0"))
+    assert len(seen) == 2
+
+
+def test_unsubscribe_stops_delivery():
+    bus = EventBus()
+    seen = []
+    unsub = bus.subscribe(PodSubmitted, seen.append)
+    bus.publish(PodSubmitted(1.0, "a", "app"))
+    unsub()
+    bus.publish(PodSubmitted(2.0, "b", "app"))
+    assert len(seen) == 1
+
+
+def test_unsubscribe_twice_is_safe():
+    bus = EventBus()
+    unsub = bus.subscribe(PodSubmitted, lambda e: None)
+    unsub()
+    unsub()
+
+
+def test_handler_may_unsubscribe_during_dispatch():
+    bus = EventBus()
+    seen = []
+
+    def handler(event):
+        seen.append(event)
+        unsub()
+
+    unsub = bus.subscribe(PodSubmitted, handler)
+    bus.publish(PodSubmitted(1.0, "a", "app"))
+    bus.publish(PodSubmitted(2.0, "b", "app"))
+    assert len(seen) == 1
+
+
+def test_delivery_order_is_subscription_order():
+    bus = EventBus()
+    order = []
+    bus.subscribe(PodSubmitted, lambda e: order.append("first"))
+    bus.subscribe(PodSubmitted, lambda e: order.append("second"))
+    bus.publish(PodSubmitted(1.0, "p", "app"))
+    assert order == ["first", "second"]
+
+
+def test_published_counter():
+    bus = EventBus()
+    bus.publish(PodSubmitted(1.0, "p", "app"))
+    bus.publish(PodScheduled(2.0, "p", "n"))
+    assert bus.published == 2

@@ -1,0 +1,73 @@
+"""Shared fixtures: a small simulated cluster with metrics plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.api import ClusterAPI
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.node import Node
+from repro.cluster.pod import PodSpec, WorkloadClass
+from repro.cluster.resources import ResourceVector
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Engine
+
+
+NODE_CAPACITY = ResourceVector(cpu=16, memory=64, disk_bw=500, net_bw=1250)
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+def make_cluster(
+    engine: Engine,
+    *,
+    nodes: int = 3,
+    capacity: ResourceVector = NODE_CAPACITY,
+    startup_delay: float = 5.0,
+    resize_delay: float = 1.0,
+) -> Cluster:
+    return Cluster(
+        engine,
+        [Node(f"node-{i}", capacity) for i in range(nodes)],
+        config=ClusterConfig(startup_delay=startup_delay, resize_delay=resize_delay),
+    )
+
+
+@pytest.fixture
+def cluster(engine: Engine) -> Cluster:
+    return make_cluster(engine)
+
+
+@pytest.fixture
+def api(cluster: Cluster) -> ClusterAPI:
+    return ClusterAPI(cluster)
+
+
+@pytest.fixture
+def collector(engine: Engine, api: ClusterAPI) -> MetricsCollector:
+    return MetricsCollector(engine, api, scrape_interval=5.0)
+
+
+def make_spec(
+    name: str = "pod-0",
+    *,
+    app: str = "app",
+    cpu: float = 1.0,
+    memory: float = 1.0,
+    disk_bw: float = 10.0,
+    net_bw: float = 10.0,
+    workload_class: WorkloadClass = WorkloadClass.MICROSERVICE,
+    gang_id: str | None = None,
+    priority: int = 0,
+) -> PodSpec:
+    return PodSpec(
+        name=name,
+        app=app,
+        workload_class=workload_class,
+        requests=ResourceVector(cpu, memory, disk_bw, net_bw),
+        gang_id=gang_id,
+        priority=priority,
+    )

@@ -1,0 +1,104 @@
+"""Property-based closed-loop tests: random workloads, global invariants.
+
+Hypothesis generates random service shapes (demands, loads, targets) and
+runs the full platform for 20 simulated minutes under the adaptive
+policy. Whatever the draw, the platform must maintain its structural
+invariants — this is the whole-system analogue of the per-module
+property tests.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.cluster.resources import RESOURCES, ResourceVector
+from repro.platform.config import ClusterSpec, PlatformConfig
+from repro.platform.evolve import EvolvePlatform
+from repro.workloads.microservice import ServiceDemands
+from repro.workloads.plo import LatencyPLO
+from repro.workloads.traces import ConstantTrace, StepTrace
+
+
+service_shapes = st.builds(
+    dict,
+    rate=st.floats(5.0, 400.0),
+    step_factor=st.floats(0.25, 4.0),
+    cpu_seconds=st.floats(0.001, 0.03),
+    disk_mb=st.floats(0.0, 1.0),
+    net_mb=st.floats(0.0, 0.5),
+    target=st.floats(0.02, 0.3),
+    cpu=st.floats(0.2, 4.0),
+)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(shape=service_shapes)
+def test_random_service_keeps_invariants(shape):
+    platform = EvolvePlatform(
+        cluster_spec=ClusterSpec(node_count=3),
+        config=PlatformConfig(seed=1),
+        policy="adaptive",
+    )
+    platform.deploy_microservice(
+        "svc",
+        trace=StepTrace([(0.0, shape["rate"]),
+                         (600.0, shape["rate"] * shape["step_factor"])]),
+        demands=ServiceDemands(
+            cpu_seconds=shape["cpu_seconds"],
+            disk_mb=shape["disk_mb"],
+            net_mb=shape["net_mb"],
+            base_latency=0.01,
+        ),
+        allocation=ResourceVector(cpu=shape["cpu"], memory=2, disk_bw=40,
+                                  net_bw=40),
+        plo=LatencyPLO(shape["target"], window=30),
+    )
+    platform.run(1200.0)
+
+    # Structural invariants, whatever the workload drew.
+    platform.cluster.verify_invariants()
+    bounds = platform.bounds
+    for pod in platform.apps["svc"].running_pods():
+        assert pod.usage.fits_within(pod.allocation, tolerance=1e-6)
+        assert bounds.minimum.fits_within(pod.allocation, tolerance=1e-6)
+        assert pod.allocation.fits_within(bounds.maximum, tolerance=1e-6)
+    # Metrics stayed finite.
+    for resource in RESOURCES:
+        value = platform.collector.latest(f"app/svc/usage/{resource}")
+        assert value is not None and value == value and value >= 0
+    latency = platform.collector.latest("app/svc/latency")
+    assert latency is not None and 0 <= latency <= 30.0
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rates=st.lists(st.floats(10.0, 150.0), min_size=2, max_size=4),
+)
+def test_many_random_services_share_cluster(rates):
+    platform = EvolvePlatform(
+        cluster_spec=ClusterSpec(node_count=4),
+        config=PlatformConfig(seed=2),
+        policy="adaptive",
+    )
+    for i, rate in enumerate(rates):
+        platform.deploy_microservice(
+            f"svc-{i}",
+            trace=ConstantTrace(rate),
+            demands=ServiceDemands(cpu_seconds=0.01, base_latency=0.01),
+            allocation=ResourceVector(cpu=0.5, memory=1, disk_bw=20,
+                                      net_bw=20),
+            plo=LatencyPLO(0.06, window=30),
+        )
+    platform.run(900.0)
+    platform.cluster.verify_invariants()
+    allocated = platform.api.total_allocated()
+    allocatable = platform.api.total_allocatable()
+    assert allocated.fits_within(allocatable, tolerance=1e-6)
+    # Every service converged: modest load, ample cluster.
+    for i in range(len(rates)):
+        latency = platform.collector.latest(f"app/svc-{i}/latency")
+        assert latency is not None and latency < 0.2

@@ -1,0 +1,110 @@
+"""Unit tests for the metrics collector / scrape loop."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from tests.conftest import make_spec
+
+
+class FakeSource:
+    def __init__(self, prefix="app/fake"):
+        self.prefix = prefix
+        self.value = 1.0
+        self.samples = 0
+
+    def metric_prefix(self):
+        return self.prefix
+
+    def sample_metrics(self, now):
+        self.samples += 1
+        return {"latency": self.value, "throughput": 2 * self.value}
+
+
+def test_scrape_records_source_metrics(engine, collector):
+    source = FakeSource()
+    collector.register(source)
+    collector.start()
+    engine.run_until(11.0)
+    assert collector.scrapes == 2
+    assert source.samples == 2
+    assert collector.latest("app/fake/latency") == 1.0
+    assert collector.latest("app/fake/throughput") == 2.0
+
+
+def test_scrape_records_cluster_gauges(engine, api, collector):
+    api.create_pod(make_spec("p0", cpu=12))
+    api.bind_pod("p0", "node-0")
+    collector.start()
+    engine.run_until(6.0)
+    assert collector.latest("cluster/alloc_frac/cpu") == pytest.approx(12 / 48)
+    assert collector.latest("cluster/pending_pods") == 0.0
+
+
+def test_pending_pods_gauge(engine, api, collector):
+    api.create_pod(make_spec("p0"))
+    collector.start()
+    engine.run_until(6.0)
+    assert collector.latest("cluster/pending_pods") == 1.0
+
+
+def test_unregister_stops_sampling(engine, collector):
+    source = FakeSource()
+    collector.register(source)
+    collector.start()
+    engine.run_until(6.0)
+    collector.unregister(source)
+    engine.run_until(20.0)
+    assert source.samples == 1
+
+
+def test_unregister_missing_is_safe(collector):
+    collector.unregister(FakeSource())
+
+
+def test_record_out_of_band(engine, collector):
+    engine.run_until(3.0)
+    collector.record("custom/metric", 42.0)
+    assert collector.latest("custom/metric") == 42.0
+
+
+def test_window_queries(engine, collector):
+    source = FakeSource()
+    collector.register(source)
+    collector.start()
+    engine.run_until(5.0)
+    source.value = 3.0
+    engine.run_until(10.0)
+    assert collector.window_mean("app/fake/latency", 10.0) == pytest.approx(2.0)
+    assert collector.window_percentile("app/fake/latency", 10.0, 100) == 3.0
+
+
+def test_missing_series_queries_return_none(collector):
+    assert collector.latest("nope") is None
+    assert collector.window_mean("nope", 10) is None
+    assert collector.window_percentile("nope", 10, 99) is None
+
+
+def test_series_names_and_has_series(engine, collector):
+    collector.record("a/b", 1.0)
+    assert collector.has_series("a/b")
+    assert not collector.has_series("a/c")
+    assert "a/b" in collector.series_names()
+
+
+def test_double_start_rejected(collector):
+    collector.start()
+    with pytest.raises(RuntimeError):
+        collector.start()
+
+
+def test_stop_halts_scraping(engine, collector):
+    collector.start()
+    engine.run_until(6.0)
+    collector.stop()
+    engine.run_until(60.0)
+    assert collector.scrapes == 1
+
+
+def test_invalid_interval(engine, api):
+    with pytest.raises(ValueError):
+        MetricsCollector(engine, api, scrape_interval=0)

@@ -1,0 +1,74 @@
+"""Unit tests for the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_policies_command(capsys):
+    assert main(["policies"]) == 0
+    out = capsys.readouterr().out
+    assert "adaptive" in out
+    assert "converged" in out
+
+
+def test_demo_command(capsys):
+    assert main(["demo", "--duration", "600", "--policy", "adaptive"]) == 0
+    out = capsys.readouterr().out
+    assert "demo" in out
+    assert "PLO violations" in out
+    assert "cluster: mean usage" in out
+
+
+def test_demo_static_policy(capsys):
+    assert main(["demo", "--duration", "300", "--policy", "static"]) == 0
+
+
+def test_run_command(tmp_path, capsys):
+    config = {
+        "seed": 1,
+        "duration": 600,
+        "cluster": {"nodes": 3},
+        "services": [
+            {
+                "name": "api",
+                "trace": {"kind": "constant", "value": 50},
+                "demands": {"cpu_seconds": 0.01},
+                "allocation": {"cpu": 1, "memory": 1, "disk_bw": 10,
+                               "net_bw": 10},
+                "plo": {"kind": "latency", "target": 0.1},
+            }
+        ],
+    }
+    path = tmp_path / "exp.json"
+    path.write_text(json.dumps(config))
+    assert main(["run", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "api" in out
+    assert "alloc cost" in out
+
+
+def test_run_duration_override(tmp_path, capsys):
+    config = {"duration": 86_400, "cluster": {"nodes": 2}}
+    path = tmp_path / "exp.json"
+    path.write_text(json.dumps(config))
+    assert main(["run", str(path), "--duration", "60"]) == 0
+    assert "0.02 h" in capsys.readouterr().out
+
+
+def test_run_missing_file(capsys):
+    assert main(["run", "/nonexistent.json"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_run_bad_config(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text("{\"services\": [{}]}")
+    assert main(["run", str(path)]) == 2
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

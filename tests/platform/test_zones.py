@@ -1,0 +1,107 @@
+"""Tests for zone topology and zone-aware gang placement."""
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.platform.config import ClusterSpec, NodeGroup, PlatformConfig, build_nodes
+from repro.platform.evolve import EvolvePlatform
+from repro.workloads.hpc import HPCJob
+
+
+ALLOC = ResourceVector(cpu=6, memory=8, disk_bw=5, net_bw=100)
+
+
+class TestZoneLabels:
+    def test_flat_cluster_has_no_zone_labels(self):
+        nodes = build_nodes(ClusterSpec(node_count=3))
+        assert all("zone" not in n.labels for n in nodes)
+
+    def test_round_robin_zones(self):
+        nodes = build_nodes(ClusterSpec(node_count=4, zones=2))
+        assert [n.labels["zone"] for n in nodes] == ["z0", "z1", "z0", "z1"]
+
+    def test_zones_with_groups(self):
+        spec = ClusterSpec(
+            groups=(NodeGroup("w", 2, ResourceVector(cpu=8)),
+                    NodeGroup("f", 2, ResourceVector(cpu=8),
+                              labels={"accelerator": "fpga"})),
+            zones=2,
+        )
+        nodes = build_nodes(spec)
+        assert [n.labels["zone"] for n in nodes] == ["z0", "z1", "z0", "z1"]
+        assert nodes[2].labels["accelerator"] == "fpga"
+
+    def test_invalid_zone_count(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(zones=0)
+
+
+class TestZonePenalty:
+    def _rank_speed(self, engine, api, stretch):
+        job = HPCJob(
+            "j", engine, api, ranks=2, duration=100.0, allocation=ALLOC,
+            comm_fraction=0.4, zone_penalty=0.5,
+        )
+        return job._rank_speed(ALLOC, comm_stretch=stretch)
+
+    def test_stretch_slows_comm_phase(self, engine, api):
+        full = self._rank_speed(engine, api, 1.0)
+        spanned = self._rank_speed(engine, api, 1.5)
+        assert full == pytest.approx(1.0)
+        # iteration time 0.6 + 0.4×1.5 = 1.2 ⇒ rate 1/1.2.
+        assert spanned == pytest.approx(1 / 1.2)
+
+    def test_negative_penalty_rejected(self, engine, api):
+        with pytest.raises(ValueError):
+            HPCJob("j", engine, api, ranks=1, duration=10, allocation=ALLOC,
+                   zone_penalty=-0.1)
+
+
+def run_gang(*, zone_aware: bool, seed: int = 5):
+    platform = EvolvePlatform(
+        cluster_spec=ClusterSpec(node_count=4, zones=2),
+        config=PlatformConfig(seed=seed),
+        scheduler="converged",
+        scheduler_kwargs={"zone_aware_gangs": zone_aware,
+                          "interference_weight": 0.0},
+    )
+    job = platform.submit_hpc(
+        "mpi", ranks=2, duration=600.0,
+        allocation=ResourceVector(cpu=7, memory=8, disk_bw=5, net_bw=100),
+        comm_fraction=0.4, zone_penalty=1.0,
+    )
+    platform.run(3 * 3600.0)
+    return job, platform
+
+
+class TestZoneAwarePlacement:
+    def test_gang_packed_into_one_zone(self):
+        job, platform = run_gang(zone_aware=True)
+        assert job.done
+        assert platform.scheduler.single_zone_gangs == 1
+        # Full speed: makespan ≈ nominal + startup.
+        assert job.makespan() == pytest.approx(610, abs=20)
+
+    def test_blind_placement_spans_and_slows(self):
+        """With zone awareness off, LeastAllocated spreads the two ranks
+        across zones and the comm penalty stretches the job by ~40%."""
+        job, platform = run_gang(zone_aware=False)
+        assert job.done
+        assert platform.scheduler.single_zone_gangs == 0
+        aware_job, _p = run_gang(zone_aware=True)
+        assert job.makespan() > aware_job.makespan() * 1.2
+
+    def test_oversized_gang_still_spans(self):
+        """A gang too big for any single zone falls back to spanning."""
+        platform = EvolvePlatform(
+            cluster_spec=ClusterSpec(node_count=4, zones=2),
+            config=PlatformConfig(seed=5),
+            scheduler="converged",
+        )
+        job = platform.submit_hpc(
+            "big", ranks=4, duration=60.0,
+            allocation=ResourceVector(cpu=10, memory=8, disk_bw=5, net_bw=100),
+            zone_penalty=0.5,
+        )
+        platform.run(600.0)
+        assert job.done  # spanning allowed, just slower

@@ -1,0 +1,82 @@
+"""Unit tests for gang admission."""
+
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod
+from repro.cluster.resources import ResourceVector
+from repro.scheduler.gang import GangAdmission
+from tests.conftest import make_spec
+
+
+CAP = ResourceVector(cpu=8, memory=32, disk_bw=200, net_bw=500)
+
+
+def pods(n, cpu=4.0, gang="g"):
+    return [
+        Pod(make_spec(f"rank-{i}", cpu=cpu, gang_id=gang), created_at=0.0)
+        for i in range(n)
+    ]
+
+
+def nodes(n):
+    return [Node(f"node-{i}", CAP) for i in range(n)]
+
+
+def test_empty_gang_trivially_assignable():
+    assert GangAdmission().find_assignment([], nodes(1)) == {}
+
+
+def test_no_nodes_fails():
+    assert GangAdmission().find_assignment(pods(1), []) is None
+
+
+def test_gang_fits_one_per_node():
+    assignment = GangAdmission().find_assignment(pods(3, cpu=6), nodes(3))
+    assert assignment is not None
+    assert len(assignment) == 3
+    assert len(set(assignment.values())) == 3  # spread
+
+
+def test_gang_packs_two_per_node():
+    assignment = GangAdmission().find_assignment(pods(4, cpu=4), nodes(2))
+    assert assignment is not None
+    per_node = {}
+    for node in assignment.values():
+        per_node[node] = per_node.get(node, 0) + 1
+    assert all(count == 2 for count in per_node.values())
+
+
+def test_oversized_gang_rejected_atomically():
+    # 5 ranks × 6 cpu onto 2 nodes × 8 cpu: impossible.
+    assignment = GangAdmission().find_assignment(pods(5, cpu=6), nodes(2))
+    assert assignment is None
+
+
+def test_respects_existing_load():
+    node_list = nodes(2)
+    filler = Pod(make_spec("filler", cpu=7), created_at=0.0)
+    node_list[0].bind(filler)
+    assignment = GangAdmission().find_assignment(pods(2, cpu=6), node_list)
+    assert assignment is None  # only node-1 has room for one rank
+
+
+def test_assignment_respects_capacity():
+    node_list = nodes(2)
+    assignment = GangAdmission().find_assignment(pods(4, cpu=4), node_list)
+    loads = {n.name: ResourceVector.zero() for n in node_list}
+    all_pods = {p.name: p for p in pods(4, cpu=4)}
+    for pod_name, node_name in assignment.items():
+        loads[node_name] = loads[node_name] + all_pods[pod_name].allocation
+    for node in node_list:
+        assert loads[node.name].fits_within(node.allocatable)
+
+
+def test_heterogeneous_gang_largest_first():
+    big = Pod(make_spec("big", cpu=8, gang_id="g"), created_at=0.0)
+    small = [
+        Pod(make_spec(f"s{i}", cpu=2, gang_id="g"), created_at=0.0) for i in range(4)
+    ]
+    assignment = GangAdmission().find_assignment([*small, big], nodes(2))
+    assert assignment is not None
+    # The 8-cpu rank monopolizes one node; the rest pack on the other.
+    big_node = assignment["big"]
+    assert all(assignment[f"s{i}"] != big_node for i in range(4))

@@ -1,0 +1,147 @@
+"""Property-based tests for placement logic."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod
+from repro.cluster.resources import ResourceVector
+from repro.scheduler.gang import GangAdmission
+from repro.scheduler.preemption import plan_gang, plan_single
+from tests.conftest import make_spec
+
+
+node_caps = st.builds(
+    ResourceVector,
+    st.floats(4.0, 32.0),   # cpu
+    st.floats(8.0, 128.0),  # memory
+    st.floats(50.0, 500.0),
+    st.floats(50.0, 500.0),
+)
+
+rank_shapes = st.tuples(st.floats(0.5, 12.0), st.floats(0.5, 16.0))
+
+
+def build_nodes(caps):
+    return [Node(f"n{i}", cap) for i, cap in enumerate(caps)]
+
+
+def build_gang(shapes):
+    return [
+        Pod(make_spec(f"r{i}", cpu=cpu, memory=mem, gang_id="g", priority=20),
+            created_at=0.0)
+        for i, (cpu, mem) in enumerate(shapes)
+    ]
+
+
+class TestGangAdmissionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        caps=st.lists(node_caps, min_size=1, max_size=5),
+        shapes=st.lists(rank_shapes, min_size=1, max_size=8),
+    )
+    def test_assignment_always_feasible(self, caps, shapes):
+        """Whenever an assignment is returned, it physically fits."""
+        nodes = build_nodes(caps)
+        members = build_gang(shapes)
+        assignment = GangAdmission().find_assignment(members, nodes)
+        if assignment is None:
+            return
+        assert set(assignment) == {p.name for p in members}
+        per_node: dict[str, ResourceVector] = {}
+        by_name = {p.name: p for p in members}
+        for pod_name, node_name in assignment.items():
+            per_node.setdefault(node_name, ResourceVector.zero())
+            per_node[node_name] = per_node[node_name] + by_name[pod_name].allocation
+        for node in nodes:
+            load = per_node.get(node.name, ResourceVector.zero())
+            assert load.fits_within(node.free, tolerance=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        caps=st.lists(node_caps, min_size=1, max_size=4),
+        shapes=st.lists(rank_shapes, min_size=1, max_size=6),
+    )
+    def test_admission_deterministic(self, caps, shapes):
+        a = GangAdmission().find_assignment(build_gang(shapes), build_nodes(caps))
+        b = GangAdmission().find_assignment(build_gang(shapes), build_nodes(caps))
+        assert a == b
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        caps=st.lists(node_caps, min_size=1, max_size=4),
+        shapes=st.lists(rank_shapes, min_size=1, max_size=6),
+    )
+    def test_more_nodes_never_hurts(self, caps, shapes):
+        """If the gang fits on a node set, it fits on a superset."""
+        members = build_gang(shapes)
+        small = GangAdmission().find_assignment(members, build_nodes(caps))
+        if small is None:
+            return
+        bigger = build_nodes(caps) + [Node("extra", ResourceVector.uniform(1000))]
+        assert GangAdmission().find_assignment(members, bigger) is not None
+
+
+class TestPreemptionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        cap=node_caps,
+        residents=st.lists(
+            st.tuples(st.floats(0.5, 8.0), st.integers(0, 9)),
+            min_size=0, max_size=5,
+        ),
+        incoming_cpu=st.floats(0.5, 16.0),
+    )
+    def test_plan_victims_suffice_and_are_lower_priority(
+        self, cap, residents, incoming_cpu
+    ):
+        node = Node("n", cap)
+        for i, (cpu, prio) in enumerate(residents):
+            pod = Pod(make_spec(f"res-{i}", cpu=cpu, memory=0.1, priority=prio),
+                      created_at=0.0)
+            if node.can_fit(pod.allocation):
+                node.bind(pod)
+        incoming = Pod(
+            make_spec("new", cpu=incoming_cpu, memory=0.1, priority=10),
+            created_at=0.0,
+        )
+        plan = plan_single(node, incoming)
+        if plan is None:
+            return
+        # Victims strictly lower priority.
+        assert all(v.spec.priority < 10 for v in plan.victims)
+        # Evicting them makes the pod fit.
+        freed = node.free
+        for victim in plan.victims:
+            freed = freed + victim.allocation
+        assert incoming.allocation.fits_within(freed, tolerance=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        caps=st.lists(node_caps, min_size=1, max_size=3),
+        shapes=st.lists(rank_shapes, min_size=1, max_size=5),
+        residents=st.lists(st.floats(0.5, 6.0), min_size=0, max_size=6),
+    )
+    def test_gang_plan_feasible_after_evictions(self, caps, shapes, residents):
+        nodes = build_nodes(caps)
+        for i, cpu in enumerate(residents):
+            pod = Pod(make_spec(f"batch-{i}", cpu=cpu, memory=0.1, priority=1),
+                      created_at=0.0)
+            target = nodes[i % len(nodes)]
+            if target.can_fit(pod.allocation):
+                target.bind(pod)
+        members = build_gang(shapes)
+        plan = plan_gang(nodes, members)
+        if plan is None:
+            return
+        # Apply the plan against real node accounting and check it holds.
+        by_name = {p.name: p for p in members}
+        for victim in plan.victims:
+            for node in nodes:
+                if victim.name in node.pods:
+                    node.release(victim)
+        for pod_name, node_name in plan.assignment.items():
+            node = next(n for n in nodes if n.name == node_name)
+            node.bind(by_name[pod_name])  # raises if infeasible
+        for node in nodes:
+            node.verify_invariants()

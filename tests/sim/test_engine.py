@@ -1,0 +1,198 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self):
+        assert Engine().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Engine(start_time=100.0).now == 100.0
+
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(2.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [2.5]
+        assert engine.now == 2.5
+
+    def test_same_time_priority_orders_execution(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, lambda: order.append("low"), priority=10)
+        engine.schedule(1.0, lambda: order.append("high"), priority=-10)
+        engine.run()
+        assert order == ["high", "low"]
+
+    def test_same_time_same_priority_is_fifo(self):
+        engine = Engine()
+        order = []
+        for i in range(5):
+            engine.schedule(1.0, lambda i=i: order.append(i))
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_the_past_rejected(self):
+        engine = Engine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5.0, lambda: None)
+
+    def test_events_scheduled_during_execution_run(self):
+        engine = Engine()
+        order = []
+
+        def outer():
+            order.append("outer")
+            engine.schedule(1.0, lambda: order.append("inner"))
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert order == ["outer", "inner"]
+        assert engine.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert not handle.pending
+
+    def test_handle_state_transitions(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        assert handle.pending
+        engine.run()
+        assert handle.executed
+        assert not handle.pending
+
+
+class TestRunUntil:
+    def test_run_until_executes_events_at_boundary(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(5.0, lambda: fired.append("at"))
+        engine.schedule(5.1, lambda: fired.append("after"))
+        engine.run_until(5.0)
+        assert fired == ["at"]
+        assert engine.now == 5.0
+
+    def test_run_until_advances_clock_without_events(self):
+        engine = Engine()
+        engine.run_until(42.0)
+        assert engine.now == 42.0
+
+    def test_run_until_backwards_rejected(self):
+        engine = Engine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(5.0)
+
+    def test_run_until_can_continue(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(3.0, lambda: fired.append(1))
+        engine.schedule(7.0, lambda: fired.append(2))
+        engine.run_until(5.0)
+        assert fired == [1]
+        engine.run_until(10.0)
+        assert fired == [1, 2]
+
+    def test_run_max_events(self):
+        engine = Engine()
+        fired = []
+        for i in range(10):
+            engine.schedule(float(i + 1), lambda i=i: fired.append(i))
+        executed = engine.run(max_events=4)
+        assert executed == 4
+        assert fired == [0, 1, 2, 3]
+
+
+class TestPeriodic:
+    def test_periodic_fires_at_interval(self):
+        engine = Engine()
+        times = []
+        engine.every(10.0, lambda: times.append(engine.now))
+        engine.run_until(35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_periodic_custom_start(self):
+        engine = Engine()
+        times = []
+        engine.every(10.0, lambda: times.append(engine.now), start=0.0)
+        engine.run_until(25.0)
+        assert times == [0.0, 10.0, 20.0]
+
+    def test_periodic_cancel_stops_firing(self):
+        engine = Engine()
+        times = []
+        handle = engine.every(10.0, lambda: times.append(engine.now))
+        engine.run_until(25.0)
+        handle.cancel()
+        engine.run_until(100.0)
+        assert times == [10.0, 20.0]
+        assert handle.fired == 2
+
+    def test_periodic_cancel_from_inside_callback(self):
+        engine = Engine()
+        count = []
+        handle = engine.every(1.0, lambda: (count.append(1), handle.cancel()))
+        engine.run_until(10.0)
+        assert len(count) == 1
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().every(0.0, lambda: None)
+
+    def test_stop_interrupts_run(self):
+        engine = Engine()
+        fired = []
+
+        def stopper():
+            fired.append(engine.now)
+            if len(fired) == 3:
+                engine.stop()
+
+        engine.every(1.0, stopper)
+        engine.run_until(100.0)
+        assert len(fired) == 3
+
+    def test_pending_count_reflects_cancellations(self):
+        engine = Engine()
+        h1 = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert engine.pending_count() == 2
+        h1.cancel()
+        assert engine.pending_count() == 1
+
+    def test_events_executed_counter(self):
+        engine = Engine()
+        for i in range(5):
+            engine.schedule(float(i + 1), lambda: None)
+        engine.run()
+        assert engine.events_executed == 5

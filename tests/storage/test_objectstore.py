@@ -1,0 +1,130 @@
+"""Unit tests for the object store and placement."""
+
+import pytest
+
+from repro.storage.objectstore import ObjectStore, StorageError, StorageObject
+from repro.storage.placement import DatasetPlacement, spread_blocks
+
+
+class TestObjectStore:
+    def test_bucket_lifecycle(self):
+        store = ObjectStore()
+        store.create_bucket("b")
+        assert store.has_bucket("b")
+        with pytest.raises(StorageError):
+            store.create_bucket("b")
+
+    def test_put_get_delete(self):
+        store = ObjectStore()
+        store.create_bucket("b")
+        obj = store.put("b", "k", 10.0, {"node-0"})
+        assert store.get("b", "k") is obj
+        store.delete("b", "k")
+        with pytest.raises(StorageError):
+            store.get("b", "k")
+
+    def test_put_unknown_bucket(self):
+        with pytest.raises(StorageError):
+            ObjectStore().put("ghost", "k", 1.0, set())
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            StorageObject("b", "k", -1.0)
+
+    def test_bucket_size(self):
+        store = ObjectStore()
+        store.create_bucket("b")
+        store.put("b", "k1", 10.0, set())
+        store.put("b", "k2", 5.0, set())
+        assert store.bucket_size_mb("b") == 15.0
+
+    def test_locality_fraction(self):
+        store = ObjectStore()
+        store.create_bucket("b")
+        store.put("b", "k1", 10.0, {"node-0"})
+        store.put("b", "k2", 30.0, {"node-1"})
+        assert store.locality_fraction("b", "node-0") == pytest.approx(0.25)
+        assert store.locality_fraction("b", "node-1") == pytest.approx(0.75)
+        assert store.locality_fraction("b", "node-9") == 0.0
+
+    def test_locality_of_empty_bucket(self):
+        store = ObjectStore()
+        store.create_bucket("b")
+        assert store.locality_fraction("b", "node-0") == 0.0
+
+    def test_replica_nodes(self):
+        store = ObjectStore()
+        store.create_bucket("b")
+        store.put("b", "k", 1.0, {"node-0", "node-2"})
+        assert store.replica_nodes("b") == {"node-0", "node-2"}
+
+    def test_invalid_remote_penalty(self):
+        with pytest.raises(ValueError):
+            ObjectStore(remote_penalty=0.0)
+
+
+class TestSpreadBlocks:
+    def test_even_spread(self):
+        store = ObjectStore()
+        nodes = [f"node-{i}" for i in range(4)]
+        n = spread_blocks(store, "data", total_mb=400, block_mb=10, nodes=nodes)
+        assert n == 40
+        for node in nodes:
+            assert store.locality_fraction("data", node) == pytest.approx(0.25)
+
+    def test_skewed_placement(self):
+        store = ObjectStore()
+        nodes = [f"node-{i}" for i in range(4)]
+        spread_blocks(store, "data", total_mb=400, block_mb=10, nodes=nodes, skew=0.8)
+        assert store.locality_fraction("data", "node-0") > 0.75
+
+    def test_replication(self):
+        store = ObjectStore()
+        nodes = ["a", "b", "c"]
+        spread_blocks(
+            store, "data", total_mb=30, block_mb=10, nodes=nodes, replication=2
+        )
+        for obj in store.list_objects("data"):
+            assert len(obj.replicas) == 2
+
+    def test_creates_bucket_if_missing(self):
+        store = ObjectStore()
+        spread_blocks(store, "new", total_mb=10, block_mb=10, nodes=["a"])
+        assert store.has_bucket("new")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_mb": 0},
+            {"block_mb": 0},
+            {"nodes": []},
+            {"skew": 1.0},
+            {"replication": 0},
+            {"replication": 5},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        defaults = {"total_mb": 100, "block_mb": 10, "nodes": ["a", "b"]}
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            spread_blocks(ObjectStore(), "d", **defaults)
+
+
+class TestDatasetPlacement:
+    def test_caches_locality(self):
+        store = ObjectStore()
+        spread_blocks(store, "d", total_mb=100, block_mb=10, nodes=["a", "b"])
+        placement = DatasetPlacement(store, "d")
+        first = placement.locality("a")
+        store.put("d", "extra", 1000.0, {"b"})
+        assert placement.locality("a") == first  # cached
+        placement.invalidate()
+        assert placement.locality("a") < first
+
+    def test_best_nodes(self):
+        store = ObjectStore()
+        store.create_bucket("d")
+        store.put("d", "k1", 80.0, {"a"})
+        store.put("d", "k2", 20.0, {"b"})
+        placement = DatasetPlacement(store, "d")
+        assert placement.best_nodes(["a", "b", "c"], 2) == ["a", "b"]

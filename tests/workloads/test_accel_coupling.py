@@ -1,0 +1,56 @@
+"""Model checks: acceleration interacts correctly with I/O coupling."""
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.platform.config import ClusterSpec, NodeGroup, PlatformConfig
+from repro.platform.evolve import EvolvePlatform
+from repro.workloads.bigdata import Stage
+
+
+def hetero():
+    return ClusterSpec(groups=(
+        NodeGroup("fpga", 2, ResourceVector(cpu=8, memory=32, disk_bw=120,
+                                            net_bw=500),
+                  labels={"accelerator": "fpga"}),
+    ))
+
+
+def run_stage(stage):
+    platform = EvolvePlatform(
+        cluster_spec=hetero(), config=PlatformConfig(seed=5),
+    )
+    job = platform.submit_bigdata(
+        "job", stages=[stage],
+        allocation=ResourceVector(cpu=4, memory=8, disk_bw=100, net_bw=50),
+        executors=2, accelerator="fpga",
+    )
+    platform.run(4 * 3600.0)
+    assert job.done
+    return job.makespan()
+
+
+def test_acceleration_helps_cpu_bound_stage():
+    plain = run_stage(Stage("k", 4000.0))
+    fast = run_stage(Stage("k", 4000.0, accel_speedup=5.0))
+    assert fast < plain / 3
+
+
+def test_acceleration_cannot_beat_io_bound_stage():
+    """Amdahl via the min() coupling: an input-bound stage gains nothing
+    from a faster compute kernel."""
+    # Input 80 GB over 2×100 MB/s ⇒ 400 s; work 400 cpu-s over 8 cores ⇒ 50 s.
+    plain = run_stage(Stage("scan", 400.0, input_mb=80_000))
+    accel = run_stage(Stage("scan", 400.0, input_mb=80_000, accel_speedup=5.0))
+    assert accel == pytest.approx(plain, rel=0.05)
+
+
+def test_acceleration_partial_on_mixed_stage():
+    """A stage near the cpu/io crossover gains, but less than the kernel
+    speedup."""
+    # cpu frac rate 4/2000 = 0.002; io 100/20000 = 0.005 ⇒ cpu-bound ×2.5.
+    plain = run_stage(Stage("mix", 2000.0, input_mb=20_000))
+    accel = run_stage(Stage("mix", 2000.0, input_mb=20_000, accel_speedup=5.0))
+    assert accel < plain
+    # But bounded below by the I/O time: 20 GB / (2×100 MB/s) = 100 s.
+    assert accel >= 100.0 - 15.0

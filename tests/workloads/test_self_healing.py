@@ -1,0 +1,79 @@
+"""Unit tests for application self-healing (maintain_replicas)."""
+
+import pytest
+
+from repro.cluster.pod import PodPhase, WorkloadClass
+from repro.cluster.resources import ResourceVector
+from repro.workloads.base import Application
+
+
+ALLOC = ResourceVector(cpu=1, memory=1, disk_bw=10, net_bw=10)
+
+
+class Dummy(Application):
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("workload_class", WorkloadClass.MICROSERVICE)
+        kwargs.setdefault("initial_allocation", ALLOC)
+        super().__init__(*args, **kwargs)
+
+    def tick(self, dt, now):
+        pass
+
+
+def test_disabled_by_default(engine, api):
+    app = Dummy("svc", engine, api, initial_replicas=2)
+    app.start()
+    api.delete_pod("svc-0", reason="preempted")
+    engine.run_until(3.0)
+    assert app.replica_count == 1
+    assert app.replacements == 0
+
+
+def test_respawns_lost_replica(engine, api):
+    app = Dummy("svc", engine, api, initial_replicas=2, maintain_replicas=True)
+    app.start()
+    api.delete_pod("svc-0", reason="preempted")
+    engine.run_until(3.0)
+    assert app.replica_count == 2
+    assert app.replacements == 1
+    # The replacement got a fresh name.
+    assert {p.name for p in app.pods()} == {"svc-1", "svc-2"}
+
+
+def test_respawn_uses_current_target_allocation(engine, api):
+    app = Dummy("svc", engine, api, initial_replicas=1, maintain_replicas=True)
+    app.start()
+    app.set_target_allocation(ALLOC.replace(cpu=3))
+    api.delete_pod("svc-0", reason="node-failure")
+    engine.run_until(3.0)
+    replacement = app.pods()[0]
+    assert replacement.allocation.cpu == 3
+
+
+def test_scale_down_not_fought(engine, api):
+    """Self-healing honors the autoscaler's desired count, not history."""
+    app = Dummy("svc", engine, api, initial_replicas=3, maintain_replicas=True)
+    app.start()
+    app.scale_to(1)
+    engine.run_until(5.0)
+    assert app.replica_count == 1
+    assert app.replacements == 0
+
+
+def test_no_respawn_after_stop(engine, api):
+    app = Dummy("svc", engine, api, initial_replicas=2, maintain_replicas=True)
+    app.start()
+    app.stop()
+    engine.run_until(10.0)
+    assert app.replica_count == 0
+
+
+def test_multiple_losses_all_replaced(engine, api):
+    app = Dummy("svc", engine, api, initial_replicas=3, maintain_replicas=True)
+    app.start()
+    for name in ("svc-0", "svc-1", "svc-2"):
+        api.delete_pod(name, reason="node-failure")
+    engine.run_until(3.0)
+    assert app.replica_count == 3
+    assert app.replacements == 3
+    assert all(p.phase == PodPhase.PENDING for p in app.pods())
