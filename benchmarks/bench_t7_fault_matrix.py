@@ -1,0 +1,145 @@
+"""T7: the fault matrix — every fault class × every workload world.
+
+The robustness claim behind the converged platform is not "survives a
+node crash" but "degrades gracefully under the whole fault taxonomy":
+infrastructure faults (crash, partial degradation), metrics-pipeline
+faults (dropped scrapes, frozen series), and actuation faults (API
+brown-outs). Each cell of the matrix injects one fault class mid-run
+against one workload world and asserts:
+
+* the run completes with zero unhandled exceptions,
+* every fault episode heals (finite MTTR),
+* every managed application's PLO error re-converges after injection,
+* the control plane's degradation machinery engaged where it should
+  (safe mode for scrape loss, retries for actuation faults).
+
+Printed per cell: episodes, MTTR, worst re-convergence time, and the
+resilience counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.recovery import fault_recovery_report, summarize
+from repro.cluster.resources import ResourceVector
+from repro.workloads.bigdata import Stage
+
+from benchmarks.scenarios import build_platform, deploy_service_mix
+
+#: Fault injected here, well past controller convergence.
+FAULT_AT = 1200.0
+#: Crash / degradation heal delay (the infrastructure MTTR).
+INFRA_HEAL = 240.0
+#: Metrics-pipeline and actuation fault window.
+PIPELINE_WINDOW = 120.0
+DURATION = 2400.0
+NODE = "node-01"
+
+FAULT_CLASSES = (
+    "crash", "degradation", "scrape-drop", "stale-metrics", "actuation",
+)
+WORKLOADS = ("micro", "bigdata")
+
+
+def _deploy(platform, workload: str) -> list[str]:
+    if workload == "micro":
+        return deploy_service_mix(platform)
+    # One deadline-managed analytics job sized to outlast the run (the
+    # deadline sits past the horizon), so the deadline PLO is live before,
+    # during, and after the fault and the controller paces rather than
+    # races the job.
+    platform.submit_bigdata(
+        "etl",
+        stages=[
+            Stage("scan", 24_000.0, input_mb=12_000),
+            Stage("agg", 14_000.0, input_mb=400, deps=("scan",)),
+        ],
+        allocation=ResourceVector(cpu=2, memory=4, disk_bw=80, net_bw=60),
+        executors=3,
+        deadline=6000.0,
+        managed=True,
+    )
+    return ["etl"]
+
+
+def _arm_fault(platform, fault: str, apps: list[str]) -> None:
+    """Schedule one fault episode of the given class at FAULT_AT."""
+    engine = platform.engine
+
+    def strike() -> None:
+        now = engine.now
+        if fault == "crash":
+            platform.injector.fail_node(NODE)
+            engine.schedule(
+                INFRA_HEAL, lambda: platform.injector.recover_node(NODE)
+            )
+        elif fault == "degradation":
+            platform.degrader.degrade_node(NODE, 0.35)
+            engine.schedule(
+                INFRA_HEAL, lambda: platform.degrader.restore_node(NODE)
+            )
+        elif fault == "scrape-drop":
+            platform.metrics_faults.drop_scrapes(now, PIPELINE_WINDOW)
+        elif fault == "stale-metrics":
+            for app in apps:
+                platform.metrics_faults.freeze(f"app/{app}", now, PIPELINE_WINDOW)
+        elif fault == "actuation":
+            platform.actuation_faults.outage(now, PIPELINE_WINDOW)
+        else:  # pragma: no cover - parametrize guards this
+            raise ValueError(f"unknown fault class {fault!r}")
+
+    engine.schedule(FAULT_AT, strike)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("fault", FAULT_CLASSES)
+def test_fault_matrix(fault: str, workload: str, report) -> None:
+    platform = build_platform("adaptive", nodes=6, seed=11)
+    apps = _deploy(platform, workload)
+    _arm_fault(platform, fault, apps)
+
+    # Zero-unhandled-exceptions criterion: any escape fails the cell.
+    platform.run(DURATION)
+
+    manager = platform.policy.manager
+    stats = manager.resilience_stats()
+    # Deadline errors drift in a wider band than latency errors while the
+    # controller paces the job, so the settle threshold is looser there.
+    threshold = 0.5 if workload == "bigdata" else 0.35
+    episodes = fault_recovery_report(
+        platform.fault_log, platform.collector, apps,
+        threshold=threshold, settle=3,
+    )
+    agg = summarize(episodes)
+
+    report(
+        f"T7 {workload:>7s} × {fault:<13s} "
+        f"episodes={agg.episodes} healed={agg.healed} "
+        f"mttr={agg.max_mttr:.0f}s "
+        f"reconverge={agg.max_reconvergence:.0f}s "
+        f"safe_mode={stats['safe_mode_entries']} "
+        f"retries={stats['retries']} "
+        f"act_fail={stats['actuation_failures']} "
+        f"breaker={stats['breaker_trips']}"
+    )
+
+    assert agg.episodes >= 1, "fault was never injected"
+    assert agg.healed == agg.episodes, "an episode never healed"
+    assert agg.unconverged == 0 and agg.max_reconvergence is not None, (
+        f"PLO error never re-converged: {[e.reconvergence for e in episodes]}"
+    )
+
+    if fault == "scrape-drop":
+        # Signal loss must drive every managed app through safe mode and
+        # back out once scrapes resume.
+        for app in apps:
+            res = manager.entry_resilience(app)
+            assert res["safe_mode_entries"] >= 1, f"{app} never entered safe mode"
+            assert res["safe_mode_exits"] >= 1, f"{app} never exited safe mode"
+            assert not res["safe_mode"], f"{app} stuck in safe mode"
+    if fault == "actuation" and workload == "micro":
+        # The service mix actuates nearly every period, so the outage must
+        # surface as absorbed failures and backoff retries.
+        assert stats["actuation_failures"] > 0, "outage never hit an actuation"
+        assert stats["retries"] > 0, "failed actuations were never retried"

@@ -11,6 +11,13 @@ from repro.analysis.stats import (
 from repro.analysis.report import format_table, series_to_rows
 from repro.analysis.cost import CostReport, PriceSheet, app_cost, cluster_provisioned_cost
 from repro.analysis.energy import EnergyReport, PowerModel, cluster_energy
+from repro.analysis.recovery import (
+    EpisodeRecovery,
+    RecoveryStats,
+    fault_recovery_report,
+    reconvergence_time,
+    summarize,
+)
 
 __all__ = [
     "PriceSheet",
@@ -28,4 +35,9 @@ __all__ = [
     "overshoot",
     "format_table",
     "series_to_rows",
+    "EpisodeRecovery",
+    "RecoveryStats",
+    "fault_recovery_report",
+    "reconvergence_time",
+    "summarize",
 ]

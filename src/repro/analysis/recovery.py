@@ -1,0 +1,133 @@
+"""Per-fault-episode recovery analysis: MTTR and re-convergence.
+
+Joins the :class:`~repro.cluster.chaos.FaultLog` written by the fault
+injectors against the control loop's recorded ``control/<app>/error``
+series to answer, per episode: how long did the fault last (MTTR at the
+infrastructure level), and how long after injection did each managed
+application's PLO error settle back inside the deadband (re-convergence
+at the control level)?
+
+Used by ``benchmarks/bench_t7_fault_matrix.py`` and the robustness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.cluster.chaos import FaultEpisode, FaultLog
+from repro.metrics.collector import MetricsCollector
+
+
+def reconvergence_time(
+    collector: MetricsCollector,
+    app: str,
+    start: float,
+    *,
+    threshold: float = 0.15,
+    settle: int = 3,
+    horizon: float | None = None,
+) -> float | None:
+    """Seconds from ``start`` until the app's PLO error settles.
+
+    PLO errors are signed with positive = violating (negative means the
+    objective is overachieved, which is fine), so settled means
+    ``settle`` consecutive ``control/<app>/error`` samples with
+    ``error ≤ threshold``; the re-convergence instant is the last sample
+    of that run. Returns None when the error never settles inside
+    ``horizon`` (or by the end of the series), or the series is absent —
+    a fault the controller did not recover from.
+    """
+    if settle < 1:
+        raise ValueError("settle must be ≥ 1")
+    name = f"control/{app}/error"
+    if not collector.has_series(name):
+        return None
+    end = start + horizon if horizon is not None else float("inf")
+    run = 0
+    for t, value in zip(*collector.series(name).to_lists()):
+        if t < start:
+            continue
+        if t > end:
+            break
+        run = run + 1 if value <= threshold else 0
+        if run >= settle:
+            return t - start
+    return None
+
+
+@dataclass(frozen=True)
+class EpisodeRecovery:
+    """Recovery outcome of one fault episode across the managed apps."""
+
+    episode: FaultEpisode
+    #: Episode duration (injection → heal); None while still active.
+    mttr: float | None
+    #: Per-app seconds from injection to settled PLO error (None = never).
+    reconvergence: Mapping[str, float | None]
+
+    def worst_reconvergence(self) -> float | None:
+        """Slowest app re-convergence; None when any app never settled."""
+        values = list(self.reconvergence.values())
+        if not values or any(v is None for v in values):
+            return None
+        return max(values)
+
+
+@dataclass(frozen=True)
+class RecoveryStats:
+    """Aggregate over a set of :class:`EpisodeRecovery`."""
+
+    episodes: int
+    healed: int
+    mean_mttr: float | None
+    max_mttr: float | None
+    mean_reconvergence: float | None
+    max_reconvergence: float | None
+    unconverged: int
+
+
+def fault_recovery_report(
+    log: FaultLog,
+    collector: MetricsCollector,
+    apps: Sequence[str],
+    *,
+    threshold: float = 0.15,
+    settle: int = 3,
+    horizon: float | None = None,
+    kinds: Iterable[str] | None = None,
+) -> list[EpisodeRecovery]:
+    """Build one :class:`EpisodeRecovery` per logged episode.
+
+    ``kinds`` filters episodes by fault kind; default is all of them.
+    """
+    wanted = set(kinds) if kinds is not None else None
+    reports = []
+    for episode in log.episodes:
+        if wanted is not None and episode.kind not in wanted:
+            continue
+        recon = {
+            app: reconvergence_time(
+                collector, app, episode.start,
+                threshold=threshold, settle=settle, horizon=horizon,
+            )
+            for app in apps
+        }
+        reports.append(EpisodeRecovery(episode, episode.duration(), recon))
+    return reports
+
+
+def summarize(reports: Sequence[EpisodeRecovery]) -> RecoveryStats:
+    """Aggregate MTTR / re-convergence across episodes."""
+    mttrs = [r.mttr for r in reports if r.mttr is not None]
+    worsts = [r.worst_reconvergence() for r in reports]
+    settled = [w for w in worsts if w is not None]
+    return RecoveryStats(
+        episodes=len(reports),
+        healed=len(mttrs),
+        mean_mttr=sum(mttrs) / len(mttrs) if mttrs else None,
+        max_mttr=max(mttrs) if mttrs else None,
+        mean_reconvergence=sum(settled) / len(settled) if settled else None,
+        max_reconvergence=max(settled) if settled else None,
+        unconverged=len(worsts) - len(settled),
+    )

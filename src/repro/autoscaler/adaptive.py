@@ -19,7 +19,7 @@ continuously instead of never).
 from __future__ import annotations
 
 from repro.control.feedforward import FeedforwardScaler
-from repro.control.manager import ControlLoopManager
+from repro.control.manager import ControlLoopManager, ResilienceConfig
 from repro.control.multiresource import (
     AllocationBounds,
     ControlDecision,
@@ -145,6 +145,8 @@ class AdaptiveAutoscaler:
         deadband: float = 0.1,
         controller_kwargs: dict | None = None,
         feedforward: bool = False,
+        resilience: ResilienceConfig | None = None,
+        rng=None,
     ):
         self.engine = engine
         self.collector = collector
@@ -157,7 +159,9 @@ class AdaptiveAutoscaler:
         self.feedforward = (
             FeedforwardScaler(collector) if feedforward else None
         )
-        self.manager = ControlLoopManager(engine, collector, interval=interval)
+        self.manager = ControlLoopManager(
+            engine, collector, interval=interval, resilience=resilience, rng=rng
+        )
         self.escape = (
             HorizontalEscapePolicy(
                 engine, min_replicas=min_replicas, max_replicas=max_replicas

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.cluster.api import ActuationError
 from repro.metrics.collector import MetricsCollector
 from repro.sim.engine import Engine, PeriodicHandle
 from repro.workloads.base import Application
@@ -32,6 +33,7 @@ class AutoscalerBase:
         self._apps: list[Application] = []
         self._handle: PeriodicHandle | None = None
         self.reconciles = 0
+        self.actuation_failures = 0
 
     def attach(self, app: Application) -> None:
         """Put ``app`` under this policy's management."""
@@ -59,7 +61,13 @@ class AutoscalerBase:
         self.reconciles += 1
         for app in list(self._apps):
             if not app.finished:
-                self.reconcile(app)
+                try:
+                    self.reconcile(app)
+                except ActuationError:
+                    # Transient actuation fault: the periodic loop itself
+                    # is the retry mechanism — next interval re-decides
+                    # from fresh observations.
+                    self.actuation_failures += 1
 
     def reconcile(self, app: Application) -> None:
         """Apply the policy to one application. Override."""

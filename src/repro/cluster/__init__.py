@@ -22,12 +22,29 @@ from repro.cluster.events import (
 )
 from repro.cluster.cluster import Cluster, ClusterError
 from repro.cluster.api import ClusterAPI
-from repro.cluster.chaos import ChaosMonkey, FailureInjector
+from repro.cluster.chaos import (
+    ActuationFaultInjector,
+    ChaosMonkey,
+    DegradationInjector,
+    FailureInjector,
+    FaultEpisode,
+    FaultLog,
+    NodeCrashDomain,
+    NodeDegradationDomain,
+)
+from repro.cluster.api import ActuationError
 from repro.cluster.quota import QuotaManager
 
 __all__ = [
+    "ActuationError",
+    "ActuationFaultInjector",
     "ChaosMonkey",
+    "DegradationInjector",
     "FailureInjector",
+    "FaultEpisode",
+    "FaultLog",
+    "NodeCrashDomain",
+    "NodeDegradationDomain",
     "QuotaManager",
     "RESOURCES",
     "ResourceVector",

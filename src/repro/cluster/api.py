@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Type, TypeVar
 
-from repro.cluster.cluster import Cluster
+from repro.cluster.cluster import Cluster, ClusterError
 from repro.cluster.events import ClusterEvent
 from repro.cluster.node import Node
 from repro.cluster.pod import Pod, PodPhase, PodSpec, WorkloadClass
@@ -19,11 +19,32 @@ from repro.cluster.resources import ResourceVector
 E = TypeVar("E", bound=ClusterEvent)
 
 
+class ActuationError(ClusterError):
+    """A control-plane actuation transiently failed (injected fault).
+
+    Raised by the gated verbs (:meth:`ClusterAPI.create_pod`,
+    :meth:`ClusterAPI.patch_pod_allocation`) when an attached
+    :class:`~repro.cluster.chaos.ActuationFaultInjector` decides the
+    attempt fails — the kubelet-timeout / API-server-brown-out analogue.
+    Callers are expected to retry with backoff, not crash.
+    """
+
+
 class ClusterAPI:
-    """Narrow, kube-like verbs over a :class:`~repro.cluster.cluster.Cluster`."""
+    """Narrow, kube-like verbs over a :class:`~repro.cluster.cluster.Cluster`.
+
+    ``actuation_faults`` (optional) injects transient failures into the
+    mutating verbs so consumers' retry paths can be exercised.
+    """
 
     def __init__(self, cluster: Cluster):
         self._cluster = cluster
+        self.actuation_faults = None  # optional ActuationFaultInjector
+
+    def _check_actuation(self, verb: str) -> None:
+        faults = self.actuation_faults
+        if faults is not None and faults.should_fail(self._cluster.now, verb):
+            raise ActuationError(f"injected actuation failure: {verb}")
 
     # -- time ----------------------------------------------------------------
 
@@ -36,6 +57,7 @@ class ClusterAPI:
 
     def create_pod(self, spec: PodSpec) -> Pod:
         """Submit a pod for scheduling."""
+        self._check_actuation("create_pod")
         return self._cluster.submit(spec)
 
     def delete_pod(self, name: str, *, reason: str = "deleted") -> None:
@@ -87,7 +109,12 @@ class ClusterAPI:
         self._cluster.quotas = manager
 
     def patch_pod_allocation(self, pod_name: str, allocation: ResourceVector) -> bool:
-        """Request an in-place vertical resize; False if it cannot fit."""
+        """Request an in-place vertical resize; False if it cannot fit.
+
+        Raises :class:`ActuationError` when an injected actuation fault
+        rejects the patch (distinct from the fit-based False return).
+        """
+        self._check_actuation("patch_pod_allocation")
         return self._cluster.resize_pod(pod_name, allocation)
 
     def can_resize(self, pod_name: str, allocation: ResourceVector) -> bool:

@@ -1,33 +1,114 @@
-"""Failure injection: node crashes and recoveries.
+"""Fault injection: the cluster-side fault taxonomy.
 
-Real-cluster evaluations survive machine loss; the simulator models it so
-the control plane's recovery path (pod eviction → self-healing resubmit →
-rescheduling → controller re-convergence) can be exercised and tested.
+Real-cluster evaluations survive more than clean machine loss: nodes slow
+down or shed capacity without dying, metric scrapes drop or freeze, and
+actuations (resizes, replica changes) transiently fail. This module holds
+the cluster-facing fault domains so the control plane's recovery paths
+(pod eviction → self-healing resubmit → rescheduling → controller
+re-convergence, plus safe mode / retry / circuit breaking in the control
+loop) can be exercised and tested:
 
-A failed node evicts every resident pod and refuses new bindings until it
-recovers. The :class:`ChaosMonkey` drives random failures from a seeded
-RNG stream for soak experiments.
+* :class:`FailureInjector` — binary node crash/recover (the classic).
+* :class:`DegradationInjector` — partial capacity loss: a node keeps
+  running but loses a fraction of its allocatable, evicting the
+  lowest-priority pods that no longer fit.
+* :class:`ActuationFaultInjector` — transient actuation failures; wired
+  into :class:`~repro.cluster.api.ClusterAPI` so resizes and pod
+  submissions raise :class:`~repro.cluster.api.ActuationError`.
+* :class:`ChaosMonkey` — random strikes from a seeded RNG over a
+  pluggable set of :class:`FaultDomain` verbs for soak experiments.
+
+Metrics-pipeline faults (dropped scrapes, frozen series, outliers) live
+in :mod:`repro.metrics.faults`; every injector records its episodes into
+a shared :class:`FaultLog` so :mod:`repro.analysis.recovery` can compute
+per-episode MTTR and re-convergence time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
 
 from repro.cluster.cluster import Cluster, ClusterError
 from repro.cluster.node import Node
 from repro.cluster.resources import ResourceVector
-from repro.sim.engine import Engine, PeriodicHandle
+from repro.sim.engine import Engine
+
+
+# -- episode bookkeeping ---------------------------------------------------------
+
+
+@dataclass
+class FaultEpisode:
+    """One injected fault, from strike to heal.
+
+    ``end`` is None while the fault is still active. Episodes whose end is
+    known at injection time (e.g. a scrape blackout window) are recorded
+    closed immediately.
+    """
+
+    kind: str
+    target: str
+    start: float
+    end: float | None = None
+    detail: str = ""
+
+    @property
+    def active(self) -> bool:
+        return self.end is None
+
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+
+class FaultLog:
+    """Append-only record of fault episodes across all injectors.
+
+    The recovery analysis (:mod:`repro.analysis.recovery`) joins these
+    episodes against the controller's metric series to compute MTTR.
+    """
+
+    def __init__(self) -> None:
+        self.episodes: list[FaultEpisode] = []
+
+    def open(self, kind: str, target: str, start: float, *,
+             detail: str = "") -> FaultEpisode:
+        episode = FaultEpisode(kind, target, start, detail=detail)
+        self.episodes.append(episode)
+        return episode
+
+    def close(self, episode: FaultEpisode, end: float) -> None:
+        if episode.end is None:
+            episode.end = end
+
+    def record(self, kind: str, target: str, start: float, end: float, *,
+               detail: str = "") -> FaultEpisode:
+        """Record an episode whose end is already known (window faults)."""
+        episode = FaultEpisode(kind, target, start, end, detail)
+        self.episodes.append(episode)
+        return episode
+
+    def active(self) -> list[FaultEpisode]:
+        return [e for e in self.episodes if e.active]
+
+    def by_kind(self, kind: str) -> list[FaultEpisode]:
+        return [e for e in self.episodes if e.kind == kind]
 
 
 @dataclass(frozen=True)
 class NodeFailure:
-    """Record of one injected failure."""
+    """Record of one injected crash (kept for the legacy reporting path)."""
 
     time: float
     node_name: str
     evicted_pods: tuple[str, ...]
+
+
+def _nominal_allocatable(node: Node) -> ResourceVector:
+    """The node's healthy allocatable ceiling (capacity − reserved)."""
+    return (node.capacity - node.system_reserved).clamp_nonnegative()
 
 
 class FailureInjector:
@@ -35,20 +116,25 @@ class FailureInjector:
 
     Failing a node zeroes its allocatable capacity (so schedulers'
     ``can_fit`` rejects it naturally) and evicts its pods with reason
-    ``node-failure``. Recovery restores the original allocatable.
+    ``node-failure``. Recovery restores the capacity *delta* removed at
+    failure time rather than blindly re-imposing a snapshot: if the
+    node's capacity legitimately changed while it was down (an operator
+    resize, a degradation healed elsewhere), that change survives the
+    recovery, clamped to the node's nominal allocatable ceiling.
     """
 
-    def __init__(self, cluster: Cluster):
+    def __init__(self, cluster: Cluster, *, log: FaultLog | None = None):
         self.cluster = cluster
-        self._saved_allocatable: dict[str, ResourceVector] = {}
+        self.log = log if log is not None else FaultLog()
+        self._down: dict[str, tuple[ResourceVector, FaultEpisode]] = {}
         self.failures: list[NodeFailure] = []
         self.recoveries = 0
 
     def is_failed(self, node_name: str) -> bool:
-        return node_name in self._saved_allocatable
+        return node_name in self._down
 
     def failed_nodes(self) -> list[str]:
-        return sorted(self._saved_allocatable)
+        return sorted(self._down)
 
     def fail_node(self, node_name: str) -> NodeFailure:
         """Crash a node, evicting everything on it."""
@@ -58,19 +144,24 @@ class FailureInjector:
         evicted = tuple(sorted(node.pods))
         for pod_name in evicted:
             self.cluster.evict(pod_name, reason="node-failure")
-        self._saved_allocatable[node_name] = node.allocatable
+        episode = self.log.open("node-crash", node_name, self.cluster.now)
+        self._down[node_name] = (node.allocatable, episode)
         node.allocatable = ResourceVector.zero()
         failure = NodeFailure(self.cluster.now, node_name, evicted)
         self.failures.append(failure)
         return failure
 
     def recover_node(self, node_name: str) -> None:
-        """Bring a failed node back with its full capacity."""
+        """Bring a failed node back by restoring the removed capacity."""
         if not self.is_failed(node_name):
             raise ClusterError(f"node {node_name!r} is not failed")
         node = self.cluster.get_node(node_name)
-        node.allocatable = self._saved_allocatable.pop(node_name)
+        removed, episode = self._down.pop(node_name)
+        node.allocatable = (node.allocatable + removed).elementwise_min(
+            _nominal_allocatable(node)
+        )
         self.recoveries += 1
+        self.log.close(episode, self.cluster.now)
 
     def healthy_nodes(self) -> list[Node]:
         return [
@@ -78,18 +169,214 @@ class FailureInjector:
         ]
 
 
+class DegradationInjector:
+    """Partial node degradation: capacity loss without death.
+
+    Degrading a node by ``factor`` keeps only that fraction of its current
+    allocatable. Pods that no longer fit are evicted lowest-priority-first
+    with reason ``node-degraded`` — the kubelet-pressure analogue — while
+    the rest keep running (and keep their metrics flowing, unlike a
+    crash). Restoring adds the removed slice back, clamped to the node's
+    nominal ceiling so it composes with crashes and operator resizes.
+    """
+
+    def __init__(self, cluster: Cluster, *, log: FaultLog | None = None):
+        self.cluster = cluster
+        self.log = log if log is not None else FaultLog()
+        self._degraded: dict[str, tuple[ResourceVector, FaultEpisode]] = {}
+        self.degradations = 0
+        self.restorations = 0
+        self.evictions = 0
+
+    def is_degraded(self, node_name: str) -> bool:
+        return node_name in self._degraded
+
+    def degraded_nodes(self) -> list[str]:
+        return sorted(self._degraded)
+
+    def degrade_node(self, node_name: str, factor: float) -> FaultEpisode:
+        """Shrink a node's allocatable to ``factor`` of its current value."""
+        if not 0.0 < factor < 1.0:
+            raise ValueError("degradation factor must be in (0, 1)")
+        if self.is_degraded(node_name):
+            raise ClusterError(f"node {node_name!r} is already degraded")
+        node = self.cluster.get_node(node_name)
+        before = node.allocatable
+        node.allocatable = before * factor
+        removed = before - node.allocatable
+        # Shed load until the survivors fit the reduced capacity.
+        while not node.allocated.fits_within(node.allocatable):
+            victims = node.pods_by_priority()
+            if not victims:
+                break
+            self.cluster.evict(victims[0].name, reason="node-degraded")
+            self.evictions += 1
+        episode = self.log.open(
+            "node-degradation", node_name, self.cluster.now,
+            detail=f"factor={factor:g}",
+        )
+        self._degraded[node_name] = (removed, episode)
+        self.degradations += 1
+        return episode
+
+    def restore_node(self, node_name: str) -> None:
+        """Return the degraded slice of capacity to the node."""
+        if not self.is_degraded(node_name):
+            raise ClusterError(f"node {node_name!r} is not degraded")
+        node = self.cluster.get_node(node_name)
+        removed, episode = self._degraded.pop(node_name)
+        node.allocatable = (node.allocatable + removed).elementwise_min(
+            _nominal_allocatable(node)
+        )
+        self.restorations += 1
+        self.log.close(episode, self.cluster.now)
+
+
+class ActuationFaultInjector:
+    """Transient actuation failures (resize / pod-creation verbs).
+
+    Wired into :class:`~repro.cluster.api.ClusterAPI`; when a gated verb
+    is attempted the API asks :meth:`should_fail` and raises
+    :class:`~repro.cluster.api.ActuationError` on True. Two modes:
+
+    * ``failure_probability`` — each actuation independently fails with
+      this probability (flaky kubelet).
+    * :meth:`outage` — every actuation inside the window fails (API-server
+      brown-out). Outage episodes are recorded in the fault log.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator | None = None,
+        *,
+        log: FaultLog | None = None,
+    ):
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.log = log if log is not None else FaultLog()
+        self.failure_probability = 0.0
+        self._outage_until = 0.0
+        self.attempts = 0
+        self.injected_failures = 0
+
+    def outage(self, now: float, duration: float) -> FaultEpisode:
+        """Fail every actuation for ``duration`` seconds from ``now``."""
+        if duration <= 0:
+            raise ValueError("outage duration must be positive")
+        self._outage_until = max(self._outage_until, now + duration)
+        return self.log.record(
+            "actuation-outage", "cluster-api", now, now + duration
+        )
+
+    def in_outage(self, now: float) -> bool:
+        return now < self._outage_until
+
+    def should_fail(self, now: float, verb: str = "") -> bool:
+        """One actuation attempt; True means the API must reject it."""
+        self.attempts += 1
+        if self.in_outage(now):
+            self.injected_failures += 1
+            return True
+        if (
+            self.failure_probability > 0.0
+            and float(self.rng.random()) < self.failure_probability
+        ):
+            self.injected_failures += 1
+            return True
+        return False
+
+
+# -- random fault scheduling ----------------------------------------------------
+
+
+class FaultDomain(Protocol):
+    """One class of injectable fault the :class:`ChaosMonkey` can drive.
+
+    ``strike`` applies a fault and returns an opaque token (or None when
+    no viable target exists); ``heal`` undoes it. Domains must tolerate
+    ``heal`` racing with external recovery.
+    """
+
+    name: str
+
+    def strike(self) -> object | None: ...
+
+    def heal(self, token: object) -> None: ...
+
+
+class NodeCrashDomain:
+    """Crash a random healthy node."""
+
+    name = "crash"
+
+    def __init__(self, injector: FailureInjector, rng: np.random.Generator):
+        self.injector = injector
+        self.rng = rng
+
+    def strike(self) -> str | None:
+        candidates = [n.name for n in self.injector.healthy_nodes()]
+        if not candidates:
+            return None
+        victim = candidates[int(self.rng.integers(len(candidates)))]
+        self.injector.fail_node(victim)
+        return victim
+
+    def heal(self, token: object) -> None:
+        if self.injector.is_failed(str(token)):
+            self.injector.recover_node(str(token))
+
+
+class NodeDegradationDomain:
+    """Degrade a random node that is neither failed nor already degraded."""
+
+    name = "degrade"
+
+    def __init__(
+        self,
+        degrader: DegradationInjector,
+        rng: np.random.Generator,
+        *,
+        factor: float = 0.5,
+    ):
+        if not 0.0 < factor < 1.0:
+            raise ValueError("degradation factor must be in (0, 1)")
+        self.degrader = degrader
+        self.rng = rng
+        self.factor = factor
+
+    def strike(self) -> str | None:
+        candidates = [
+            n.name
+            for n in self.degrader.cluster.nodes.values()
+            if not self.degrader.is_degraded(n.name)
+            and not n.allocatable.is_zero()
+        ]
+        if not candidates:
+            return None
+        victim = candidates[int(self.rng.integers(len(candidates)))]
+        self.degrader.degrade_node(victim, self.factor)
+        return victim
+
+    def heal(self, token: object) -> None:
+        if self.degrader.is_degraded(str(token)):
+            self.degrader.restore_node(str(token))
+
+
 class ChaosMonkey:
-    """Random node failures on a Poisson clock, with fixed repair time.
+    """Random faults on a Poisson clock, with fixed repair time.
 
     Parameters
     ----------
     mtbf:
-        Cluster-wide mean time between failures (s).
+        Cluster-wide mean time between strikes (s).
     repair_time:
-        Seconds a failed node stays down.
+        Seconds a fault stays active before the monkey heals it.
     max_concurrent_failures:
-        Never take down more than this many nodes at once (keeps soak
+        Never keep more than this many faults active at once (keeps soak
         runs from killing the whole cluster).
+    domains:
+        Fault domains to draw from; defaults to crash-only against
+        ``injector`` (the legacy behaviour). With several domains the
+        monkey picks one uniformly per strike.
     """
 
     def __init__(
@@ -101,6 +388,7 @@ class ChaosMonkey:
         mtbf: float = 3600.0,
         repair_time: float = 300.0,
         max_concurrent_failures: int = 1,
+        domains: list[FaultDomain] | None = None,
     ):
         if mtbf <= 0 or repair_time <= 0:
             raise ValueError("mtbf and repair_time must be positive")
@@ -112,6 +400,13 @@ class ChaosMonkey:
         self.mtbf = mtbf
         self.repair_time = repair_time
         self.max_concurrent_failures = max_concurrent_failures
+        self.domains: list[FaultDomain] = (
+            list(domains) if domains else [NodeCrashDomain(injector, rng)]
+        )
+        if not self.domains:
+            raise ValueError("need at least one fault domain")
+        self.strikes = 0
+        self._active: set[object] = set()
         self._armed = False
 
     def start(self) -> None:
@@ -121,7 +416,11 @@ class ChaosMonkey:
         self._arm_next()
 
     def stop(self) -> None:
+        """Stop future strikes; already-scheduled heals still run."""
         self._armed = False
+
+    def active_faults(self) -> int:
+        return len(self._active)
 
     def _arm_next(self) -> None:
         delay = float(self.rng.exponential(self.mtbf))
@@ -130,18 +429,21 @@ class ChaosMonkey:
     def _strike(self) -> None:
         if not self._armed:
             return
-        down = self.injector.failed_nodes()
-        candidates = [
-            n.name for n in self.injector.healthy_nodes()
-        ]
-        if candidates and len(down) < self.max_concurrent_failures:
-            victim = candidates[int(self.rng.integers(len(candidates)))]
-            self.injector.fail_node(victim)
-            self.engine.schedule(
-                self.repair_time, lambda: self._repair(victim)
-            )
+        if len(self._active) < self.max_concurrent_failures:
+            if len(self.domains) == 1:
+                domain = self.domains[0]
+            else:
+                domain = self.domains[int(self.rng.integers(len(self.domains)))]
+            token = domain.strike()
+            if token is not None:
+                self.strikes += 1
+                key = (domain.name, token, self.engine.now)
+                self._active.add(key)
+                self.engine.schedule(
+                    self.repair_time, lambda: self._heal(domain, token, key)
+                )
         self._arm_next()
 
-    def _repair(self, node_name: str) -> None:
-        if self.injector.is_failed(node_name):
-            self.injector.recover_node(node_name)
+    def _heal(self, domain: FaultDomain, token: object, key: object) -> None:
+        self._active.discard(key)
+        domain.heal(token)

@@ -24,7 +24,7 @@ from repro.control.multiresource import (
     ControlDecision,
     MultiResourceController,
 )
-from repro.control.manager import ControlLoopManager
+from repro.control.manager import ControlLoopManager, ResilienceConfig
 from repro.control.feedforward import FeedforwardScaler
 
 __all__ = [
@@ -38,4 +38,5 @@ __all__ = [
     "AllocationBounds",
     "ControlDecision",
     "ControlLoopManager",
+    "ResilienceConfig",
 ]

@@ -1,9 +1,10 @@
-"""The control loop: evaluate PLOs, decide, actuate.
+"""The control loop: evaluate PLOs, decide, actuate — and degrade gracefully.
 
 One :class:`ControlLoopManager` runs per experiment. Every control period
 it, for each registered application:
 
-1. evaluates the application's PLO against the metrics pipeline,
+1. evaluates the application's PLO against the metrics pipeline and
+   checks the signal is *fresh* (recent samples, not a stalled scrape),
 2. builds the saturation snapshot from scraped usage/allocation,
 3. asks the application's :class:`~repro.control.multiresource.MultiResourceController`
    for a decision,
@@ -11,19 +12,41 @@ it, for each registered application:
    horizontal policy, by adding/removing replicas when vertical scaling
    rails out,
 5. records the loop's internals as metrics series for the evaluation
-   harness (error, output, gain scale, decisions).
+   harness (error, output, gain scale, decisions, safe mode, breaker).
+
+The loop is hardened against the fault taxonomy in
+:mod:`repro.cluster.chaos` / :mod:`repro.metrics.faults`:
+
+* **Stale-signal holddown + safe mode** — a missing or stale PLO signal
+  never reaches the PID. After ``safe_mode_after`` consecutive stale
+  periods the app enters *safe mode*: the loop freezes it at the
+  last-known-good allocation and stops actuating until the signal
+  returns, at which point the controller state is reset (stale integral
+  discarded) and normal operation resumes.
+* **Retry with exponential backoff + jitter** — actuations that raise
+  :class:`~repro.cluster.api.ActuationError` are retried on a capped
+  exponential schedule instead of hot-looped.
+* **Circuit breaker** — an app whose actuations keep failing, or whose
+  decisions flap between grow and reclaim, has scaling suppressed for
+  ``breaker_open_duration`` seconds; the breaker closes by timeout.
+
+All knobs live in :class:`ResilienceConfig`.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Callable, Protocol
 
+import numpy as np
+
+from repro.cluster.api import ActuationError
 from repro.cluster.resources import RESOURCES, ResourceVector
 from repro.control.estimator import SaturationSnapshot
 from repro.control.multiresource import ControlDecision, MultiResourceController
 from repro.metrics.collector import MetricsCollector
-from repro.sim.engine import Engine, PeriodicHandle
+from repro.sim.engine import Engine, EventHandle, PeriodicHandle
 from repro.workloads.base import Application
 
 
@@ -40,6 +63,57 @@ class HorizontalPolicy(Protocol):
         ...
 
 
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Degradation/retry knobs of the control loop.
+
+    Parameters
+    ----------
+    safe_mode_after:
+        Consecutive stale control periods before an app enters safe mode.
+    freshness_timeout:
+        Max age (s) of the newest PLO-metric sample before the signal
+        counts as stale; None derives ``2.5 × interval``.
+    retry_base_delay / retry_max_delay / retry_jitter / max_retries:
+        Exponential-backoff schedule for failed actuations: attempt *n*
+        waits ``base · 2ⁿ`` seconds (capped at ``retry_max_delay``),
+        multiplied by a uniform ``1 ± retry_jitter`` factor so synchronized
+        retries de-correlate. At most ``max_retries`` retries per decision.
+    breaker_failure_threshold:
+        Consecutive actuation failures that trip the circuit breaker.
+    breaker_flap_window / breaker_flap_threshold:
+        Trip the breaker when the last ``flap_window`` non-hold decisions
+        contain at least ``flap_threshold`` grow↔reclaim direction flips.
+    breaker_open_duration:
+        Seconds scaling stays suppressed once the breaker opens.
+    """
+
+    safe_mode_after: int = 3
+    freshness_timeout: float | None = None
+    retry_base_delay: float = 2.0
+    retry_max_delay: float = 60.0
+    retry_jitter: float = 0.25
+    max_retries: int = 4
+    breaker_failure_threshold: int = 3
+    breaker_flap_window: int = 6
+    breaker_flap_threshold: int = 4
+    breaker_open_duration: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.safe_mode_after < 1:
+            raise ValueError("safe_mode_after must be ≥ 1")
+        if self.retry_base_delay <= 0 or self.retry_max_delay <= 0:
+            raise ValueError("retry delays must be positive")
+        if not 0.0 <= self.retry_jitter < 1.0:
+            raise ValueError("retry_jitter must be in [0, 1)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be ≥ 0")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be ≥ 1")
+        if self.breaker_open_duration <= 0:
+            raise ValueError("breaker_open_duration must be positive")
+
+
 @dataclass
 class _Entry:
     app: Application
@@ -51,6 +125,23 @@ class _Entry:
     stats: dict[str, int] = field(
         default_factory=lambda: {"grow": 0, "reclaim": 0, "hold": 0}
     )
+    # -- resilience state ----------------------------------------------------
+    stale_periods: int = 0
+    last_signal_time: float | None = None
+    safe_mode: bool = False
+    safe_mode_entries: int = 0
+    safe_mode_exits: int = 0
+    last_good_allocation: ResourceVector | None = None
+    actuation_failures: int = 0
+    consecutive_failures: int = 0
+    retries: int = 0
+    retry_attempts: int = 0
+    retry_action: Callable[[], None] | None = None
+    retry_handle: EventHandle | None = None
+    breaker_open_until: float = 0.0
+    breaker_trips: int = 0
+    breaker_skips: int = 0
+    directions: deque = field(default_factory=lambda: deque(maxlen=6))
 
 
 class ControlLoopManager:
@@ -63,6 +154,11 @@ class ControlLoopManager:
     usage_window:
         Trailing window for usage averaging when building saturation
         snapshots; defaults to the control period.
+    resilience:
+        Safe-mode / retry / breaker knobs; defaults to
+        :class:`ResilienceConfig` (hardening always on).
+    rng:
+        Source of retry jitter; seeded default keeps runs deterministic.
     """
 
     def __init__(
@@ -72,6 +168,8 @@ class ControlLoopManager:
         *,
         interval: float = 10.0,
         usage_window: float | None = None,
+        resilience: ResilienceConfig | None = None,
+        rng: np.random.Generator | None = None,
     ):
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -79,9 +177,16 @@ class ControlLoopManager:
         self.collector = collector
         self.interval = interval
         self.usage_window = usage_window or interval
+        self.resilience = resilience or ResilienceConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         self._entries: dict[str, _Entry] = {}
         self._handle: PeriodicHandle | None = None
         self.loops = 0
+
+    @property
+    def freshness_timeout(self) -> float:
+        timeout = self.resilience.freshness_timeout
+        return timeout if timeout is not None else 2.5 * self.interval
 
     # -- registration ------------------------------------------------------------
 
@@ -98,14 +203,51 @@ class ControlLoopManager:
             raise ValueError(f"application {app.name!r} has no PLO attached")
         if app.name in self._entries:
             raise ValueError(f"application {app.name!r} already registered")
-        self._entries[app.name] = _Entry(app, controller, horizontal, feedforward)
+        entry = _Entry(app, controller, horizontal, feedforward)
+        entry.directions = deque(maxlen=max(2, self.resilience.breaker_flap_window))
+        self._entries[app.name] = entry
 
     def unregister(self, app_name: str) -> None:
-        self._entries.pop(app_name, None)
+        entry = self._entries.pop(app_name, None)
+        if entry is not None:
+            self._cancel_retry(entry)
 
     def entry_stats(self, app_name: str) -> dict[str, int]:
         """Decision counts for one application (for tests/reports)."""
         return dict(self._entries[app_name].stats)
+
+    def entry_resilience(self, app_name: str) -> dict[str, int | bool]:
+        """Resilience counters for one application (for tests/reports)."""
+        entry = self._entries[app_name]
+        return {
+            "safe_mode": entry.safe_mode,
+            "safe_mode_entries": entry.safe_mode_entries,
+            "safe_mode_exits": entry.safe_mode_exits,
+            "stale_periods": entry.stale_periods,
+            "actuation_failures": entry.actuation_failures,
+            "retries": entry.retries,
+            "breaker_trips": entry.breaker_trips,
+            "breaker_skips": entry.breaker_skips,
+        }
+
+    def resilience_stats(self) -> dict[str, int]:
+        """Aggregate resilience counters over all registered applications."""
+        totals = {
+            "safe_mode_entries": 0,
+            "safe_mode_exits": 0,
+            "actuation_failures": 0,
+            "retries": 0,
+            "breaker_trips": 0,
+            "breaker_skips": 0,
+        }
+        for entry in self._entries.values():
+            totals["safe_mode_entries"] += entry.safe_mode_entries
+            totals["safe_mode_exits"] += entry.safe_mode_exits
+            totals["actuation_failures"] += entry.actuation_failures
+            totals["retries"] += entry.retries
+            totals["breaker_trips"] += entry.breaker_trips
+            totals["breaker_skips"] += entry.breaker_skips
+        return totals
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -118,6 +260,147 @@ class ControlLoopManager:
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
+        for entry in self._entries.values():
+            self._cancel_retry(entry)
+
+    # -- signal freshness / safe mode ---------------------------------------------
+
+    def _signal_fresh(self, entry: _Entry, error: float | None, now: float) -> bool:
+        """Whether the PLO signal is present *and* recently scraped."""
+        if error is None:
+            return False
+        app = entry.app
+        last_t = self.collector.latest_time(app.plo.metric_name(app.name))
+        return last_t is not None and now - last_t <= self.freshness_timeout
+
+    def _enter_safe_mode(self, entry: _Entry, now: float) -> None:
+        entry.safe_mode = True
+        entry.safe_mode_entries += 1
+        self._cancel_retry(entry)
+        # Freeze at the last-known-good allocation: if a decision taken on
+        # data that later proved stale moved the target, pull it back.
+        good = entry.last_good_allocation
+        if good is not None and not good.approx_equal(
+            entry.app.target_allocation, tolerance=1e-9
+        ):
+            try:
+                entry.app.set_target_allocation(good)
+            except ActuationError:
+                pass  # stay frozen wherever we are; retried on exit
+
+    def _exit_safe_mode(self, entry: _Entry) -> None:
+        entry.safe_mode = False
+        entry.safe_mode_exits += 1
+        # The PID integrated against a signal that then went dark; start
+        # the loop clean rather than acting on pre-outage momentum.
+        entry.controller.reset()
+
+    # -- actuation: retries and circuit breaking ------------------------------------
+
+    def _cancel_retry(self, entry: _Entry) -> None:
+        if entry.retry_handle is not None:
+            entry.retry_handle.cancel()
+        entry.retry_handle = None
+        entry.retry_action = None
+        entry.retry_attempts = 0
+
+    def _trip_breaker(self, entry: _Entry, now: float) -> None:
+        entry.breaker_open_until = now + self.resilience.breaker_open_duration
+        entry.breaker_trips += 1
+        entry.directions.clear()
+        entry.consecutive_failures = 0
+        self._cancel_retry(entry)
+
+    def _record_direction(self, entry: _Entry, decision: ControlDecision) -> bool:
+        """Track grow/reclaim flapping; True when the breaker just tripped."""
+        if decision.action == "hold":
+            return False
+        entry.directions.append(1 if decision.action == "grow" else -1)
+        flips = sum(
+            1
+            for a, b in zip(entry.directions, list(entry.directions)[1:])
+            if a != b
+        )
+        if (
+            len(entry.directions) >= 2
+            and flips >= self.resilience.breaker_flap_threshold
+        ):
+            self._trip_breaker(entry, self.engine.now)
+            return True
+        return False
+
+    def _actuate(
+        self,
+        entry: _Entry,
+        action: Callable[[], None],
+        *,
+        on_success: Callable[[], None] | None = None,
+    ) -> bool:
+        """Run one actuation, absorbing injected transient failures.
+
+        On failure the actuation is rescheduled with exponential backoff
+        and jitter (up to ``max_retries``); repeated failures trip the
+        circuit breaker instead of retrying forever.
+        """
+        try:
+            action()
+        except ActuationError:
+            self._on_actuation_failure(entry, action, on_success)
+            return False
+        entry.consecutive_failures = 0
+        self._cancel_retry(entry)
+        if on_success is not None:
+            on_success()
+        return True
+
+    def _on_actuation_failure(
+        self,
+        entry: _Entry,
+        action: Callable[[], None],
+        on_success: Callable[[], None] | None,
+    ) -> None:
+        cfg = self.resilience
+        entry.actuation_failures += 1
+        entry.consecutive_failures += 1
+        if entry.consecutive_failures >= cfg.breaker_failure_threshold:
+            self._trip_breaker(entry, self.engine.now)
+            return
+        if entry.retry_attempts >= cfg.max_retries:
+            # Give up on this decision; the next period re-decides.
+            self._cancel_retry(entry)
+            return
+        delay = min(
+            cfg.retry_max_delay,
+            cfg.retry_base_delay * (2.0 ** entry.retry_attempts),
+        )
+        if cfg.retry_jitter > 0:
+            delay *= 1.0 + cfg.retry_jitter * (2.0 * float(self.rng.random()) - 1.0)
+        entry.retry_attempts += 1
+        entry.retries += 1
+        entry.retry_action = action
+        if entry.retry_handle is not None:
+            entry.retry_handle.cancel()
+        entry.retry_handle = self.engine.schedule(
+            delay, lambda: self._run_retry(entry, action, on_success)
+        )
+
+    def _run_retry(
+        self,
+        entry: _Entry,
+        action: Callable[[], None],
+        on_success: Callable[[], None] | None,
+    ) -> None:
+        if entry.retry_action is not action:
+            return  # superseded by a newer decision
+        entry.retry_handle = None
+        if (
+            entry.app.finished
+            or entry.safe_mode
+            or self.engine.now < entry.breaker_open_until
+        ):
+            entry.retry_action = None
+            return
+        self._actuate(entry, action, on_success=on_success)
 
     # -- the loop ----------------------------------------------------------------------
 
@@ -151,46 +434,97 @@ class ControlLoopManager:
         now = self.engine.now
         self.loops += 1
         for entry in list(self._entries.values()):
-            app = entry.app
-            if app.finished:
+            if entry.app.finished:
                 continue
-            status = app.plo.evaluate(self.collector, app.name, now)
-            prefix = f"control/{app.name}"
-            if status.error is None:
-                entry.skipped += 1
-                continue
-            saturation = self._saturation(app)
-            ff = 0.0
-            if entry.feedforward is not None:
-                ff = entry.feedforward.signal(app, now)
-            decision = entry.controller.decide(
-                status.error, saturation, app.current_allocation(),
-                self.interval, feedforward=ff,
-            )
-            if (
-                decision.action == "reclaim"
-                and entry.feedforward is not None
-                and entry.feedforward.reclaim_suppressed(app.name, now)
-            ):
-                decision = ControlDecision(
-                    "hold", app.current_allocation(), decision.error,
-                    decision.output, decision.gain_scale, decision.weights,
-                )
-            entry.last_decision = decision
-            entry.stats[decision.action] += 1
+            self._run_entry(entry, now)
 
-            if decision.changed:
-                app.set_target_allocation(decision.new_allocation)
-            if entry.horizontal is not None:
-                desired = entry.horizontal.adjust(app, decision, entry.controller)
-                if desired != app.replica_count:
+    def _run_entry(self, entry: _Entry, now: float) -> None:
+        app = entry.app
+        prefix = f"control/{app.name}"
+        status = app.plo.evaluate(self.collector, app.name, now)
+
+        if not self._signal_fresh(entry, status.error, now):
+            entry.skipped += 1
+            # Before the first signal ever arrives there is no last-known-
+            # good state to protect; stay in the plain skip path.
+            if entry.last_signal_time is not None:
+                entry.stale_periods += 1
+                if (
+                    not entry.safe_mode
+                    and entry.stale_periods >= self.resilience.safe_mode_after
+                ):
+                    self._enter_safe_mode(entry, now)
+            self.collector.record(
+                f"{prefix}/safe_mode", 1.0 if entry.safe_mode else 0.0
+            )
+            return
+
+        entry.stale_periods = 0
+        entry.last_signal_time = now
+        if entry.safe_mode:
+            self._exit_safe_mode(entry)
+        self.collector.record(f"{prefix}/safe_mode", 0.0)
+
+        breaker_open = now < entry.breaker_open_until
+        self.collector.record(
+            f"{prefix}/breaker_open", 1.0 if breaker_open else 0.0
+        )
+        if breaker_open:
+            entry.breaker_skips += 1
+            return
+
+        saturation = self._saturation(app)
+        ff = 0.0
+        if entry.feedforward is not None:
+            ff = entry.feedforward.signal(app, now)
+        decision = entry.controller.decide(
+            status.error, saturation, app.current_allocation(),
+            self.interval, feedforward=ff,
+        )
+        if (
+            decision.action == "reclaim"
+            and entry.feedforward is not None
+            and entry.feedforward.reclaim_suppressed(app.name, now)
+        ):
+            decision = ControlDecision(
+                "hold", app.current_allocation(), decision.error,
+                decision.output, decision.gain_scale, decision.weights,
+            )
+        entry.last_decision = decision
+        entry.stats[decision.action] += 1
+
+        if self._record_direction(entry, decision):
+            # Flapping tripped the breaker: suppress this actuation too.
+            self.collector.record(f"{prefix}/breaker_open", 1.0)
+            return
+
+        if decision.changed:
+            target = decision.new_allocation
+
+            def apply_vertical(app=app, target=target) -> None:
+                app.set_target_allocation(target)
+
+            def mark_good(entry=entry, target=target) -> None:
+                entry.last_good_allocation = target
+
+            self._actuate(entry, apply_vertical, on_success=mark_good)
+        elif entry.last_good_allocation is None:
+            entry.last_good_allocation = app.current_allocation()
+
+        if entry.horizontal is not None:
+            desired = entry.horizontal.adjust(app, decision, entry.controller)
+            if desired != app.replica_count:
+
+                def apply_horizontal(app=app, desired=desired) -> None:
                     app.scale_to(desired)
 
-            self.collector.record(f"{prefix}/error", decision.error)
-            self.collector.record(f"{prefix}/output", decision.output)
-            self.collector.record(f"{prefix}/gain_scale", decision.gain_scale)
-            self.collector.record(
-                f"{prefix}/action",
-                {"hold": 0.0, "grow": 1.0, "reclaim": -1.0}[decision.action],
-            )
-            self.collector.record(f"{prefix}/replicas", float(app.replica_count))
+                self._actuate(entry, apply_horizontal)
+
+        self.collector.record(f"{prefix}/error", decision.error)
+        self.collector.record(f"{prefix}/output", decision.output)
+        self.collector.record(f"{prefix}/gain_scale", decision.gain_scale)
+        self.collector.record(
+            f"{prefix}/action",
+            {"hold": 0.0, "grow": 1.0, "reclaim": -1.0}[decision.action],
+        )
+        self.collector.record(f"{prefix}/replicas", float(app.replica_count))

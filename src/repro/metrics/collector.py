@@ -47,6 +47,7 @@ class MetricsCollector:
         *,
         scrape_interval: float = 5.0,
         series_maxlen: int = 100_000,
+        faults=None,
     ):
         if scrape_interval <= 0:
             raise ValueError("scrape_interval must be positive")
@@ -58,6 +59,9 @@ class MetricsCollector:
         self._series: dict[str, TimeSeries] = {}
         self._handle: PeriodicHandle | None = None
         self.scrapes = 0
+        #: Optional :class:`~repro.metrics.faults.MetricsFaultInjector`
+        #: distorting the scrape path (never the out-of-band ``record``).
+        self.faults = faults
 
     # -- registration -------------------------------------------------------
 
@@ -105,14 +109,27 @@ class MetricsCollector:
         """Record an out-of-band sample (e.g. per-event observations)."""
         self.series(name).append(self.engine.now, value)
 
+    def _store(self, name: str, value: float, now: float) -> None:
+        """Append one scraped sample, subject to the fault filter."""
+        if self.faults is not None:
+            series = self._series.get(name)
+            value = self.faults.filter(
+                name, value, now, series.last() if series is not None else None
+            )
+            if value is None:
+                return
+        self.series(name).append(now, value)
+
     def scrape(self) -> None:
         """Sample every source and cluster-level gauges once."""
         now = self.engine.now
         self.scrapes += 1
+        if self.faults is not None and self.faults.should_drop_scrape(now):
+            return
         for source in list(self._sources):
             prefix = source.metric_prefix()
             for metric, value in source.sample_metrics(now).items():
-                self.series(f"{prefix}/{metric}").append(now, value)
+                self._store(f"{prefix}/{metric}", value, now)
         allocatable = self.api.total_allocatable()
         allocated = self.api.total_allocated()
         usage = self.api.total_usage()
@@ -120,19 +137,18 @@ class MetricsCollector:
             cap = allocatable[name]
             alloc_frac = allocated[name] / cap if cap > 0 else 0.0
             usage_frac = usage[name] / cap if cap > 0 else 0.0
-            self.series(f"cluster/alloc_frac/{name}").append(now, alloc_frac)
-            self.series(f"cluster/usage_frac/{name}").append(now, usage_frac)
+            self._store(f"cluster/alloc_frac/{name}", alloc_frac, now)
+            self._store(f"cluster/usage_frac/{name}", usage_frac, now)
         for node in self.api.list_nodes():
             fractions = node.usage_fraction()
             alloc_fractions = node.allocation_fraction()
             prefix = f"node/{node.name}"
-            self.series(f"{prefix}/usage_frac/cpu").append(now, fractions["cpu"])
-            self.series(f"{prefix}/alloc_frac/cpu").append(
-                now, alloc_fractions["cpu"]
-            )
-        self.series("cluster/pending_pods").append(
-            now, float(len(self.api.pending_pods()))
-        )
+            for name in RESOURCES:
+                self._store(f"{prefix}/usage_frac/{name}", fractions[name], now)
+                self._store(
+                    f"{prefix}/alloc_frac/{name}", alloc_fractions[name], now
+                )
+        self._store("cluster/pending_pods", float(len(self.api.pending_pods())), now)
 
     # -- convenience queries ------------------------------------------------------
 
@@ -140,6 +156,15 @@ class MetricsCollector:
         """Most recent value of a series, or None if absent/empty."""
         series = self._series.get(name)
         return series.last() if series is not None else None
+
+    def latest_time(self, name: str) -> float | None:
+        """Timestamp of the most recent sample, or None if absent/empty.
+
+        Freshness probe: consumers compare this against ``engine.now`` to
+        detect a stalled scrape pipeline before acting on old data.
+        """
+        series = self._series.get(name)
+        return series.last_time() if series is not None else None
 
     def window_mean(self, name: str, span: float) -> float | None:
         series = self._series.get(name)

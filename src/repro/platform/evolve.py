@@ -19,7 +19,16 @@ from typing import Sequence
 
 from repro.analysis.stats import PLOMonitor, UtilizationSummary, utilization_summary
 from repro.autoscaler.adaptive import AdaptiveAutoscaler
-from repro.cluster.chaos import ChaosMonkey, FailureInjector
+from repro.cluster.chaos import (
+    ActuationFaultInjector,
+    ChaosMonkey,
+    DegradationInjector,
+    FailureInjector,
+    FaultDomain,
+    FaultLog,
+    NodeCrashDomain,
+    NodeDegradationDomain,
+)
 from repro.cluster.quota import QuotaManager
 from repro.autoscaler.hpa import HorizontalPodAutoscaler
 from repro.autoscaler.static import StaticPolicy
@@ -30,6 +39,7 @@ from repro.cluster.pod import WorkloadClass
 from repro.cluster.resources import ResourceVector
 from repro.control.multiresource import AllocationBounds
 from repro.metrics.collector import MetricsCollector
+from repro.metrics.faults import MetricsFaultInjector
 from repro.platform.config import ClusterSpec, PlatformConfig, build_nodes
 from repro.scheduler.converged import ConvergedScheduler, SiloedScheduler
 from repro.scheduler.kube import KubeScheduler
@@ -116,8 +126,21 @@ class EvolvePlatform:
             ),
         )
         self.api = ClusterAPI(self.cluster)
+        # Shared fault bookkeeping: every injector logs episodes here so
+        # repro.analysis.recovery can compute MTTR across fault classes.
+        self.fault_log = FaultLog()
+        self.metrics_faults = MetricsFaultInjector(
+            self.rng.stream("faults/metrics"), log=self.fault_log
+        )
+        self.actuation_faults = ActuationFaultInjector(
+            self.rng.stream("faults/actuation"), log=self.fault_log
+        )
+        self.api.actuation_faults = self.actuation_faults
         self.collector = MetricsCollector(
-            self.engine, self.api, scrape_interval=self.config.scrape_interval
+            self.engine,
+            self.api,
+            scrape_interval=self.config.scrape_interval,
+            faults=self.metrics_faults,
         )
         self.monitor = PLOMonitor(
             self.engine, self.collector, interval=self.config.plo_eval_interval
@@ -131,7 +154,8 @@ class EvolvePlatform:
         self.apps: dict[str, Application] = {}
         self.quotas = QuotaManager()
         self.cluster.quotas = self.quotas
-        self.injector = FailureInjector(self.cluster)
+        self.injector = FailureInjector(self.cluster, log=self.fault_log)
+        self.degrader = DegradationInjector(self.cluster, log=self.fault_log)
         self.chaos: ChaosMonkey | None = None
         self._started = False
         self._run_until = 0.0
@@ -149,17 +173,46 @@ class EvolvePlatform:
         mtbf: float = 3600.0,
         repair_time: float = 300.0,
         max_concurrent_failures: int = 1,
+        domains: Sequence[str | FaultDomain] | None = None,
+        degrade_factor: float = 0.5,
     ) -> ChaosMonkey:
-        """Arm random node failures for the rest of the run."""
+        """Arm random faults for the rest of the run.
+
+        ``domains`` selects the fault classes the monkey draws from:
+        names ``"crash"`` / ``"degrade"`` or pre-built
+        :class:`~repro.cluster.chaos.FaultDomain` objects. Defaults to
+        crash-only (the legacy behaviour).
+        """
         if self.chaos is not None:
             raise RuntimeError("chaos already enabled")
+        rng = self.rng.stream("chaos")
+        built: list[FaultDomain] | None = None
+        if domains is not None:
+            built = []
+            for dom in domains:
+                if dom == "crash":
+                    built.append(NodeCrashDomain(self.injector, rng))
+                elif dom == "degrade":
+                    built.append(
+                        NodeDegradationDomain(
+                            self.degrader, rng, factor=degrade_factor
+                        )
+                    )
+                elif isinstance(dom, str):
+                    raise ValueError(
+                        f"unknown fault domain {dom!r}; "
+                        "choose 'crash', 'degrade', or pass a FaultDomain"
+                    )
+                else:
+                    built.append(dom)
         self.chaos = ChaosMonkey(
             self.engine,
             self.injector,
-            self.rng.stream("chaos"),
+            rng,
             mtbf=mtbf,
             repair_time=repair_time,
             max_concurrent_failures=max_concurrent_failures,
+            domains=built,
         )
         self.chaos.start()
         return self.chaos
@@ -212,6 +265,7 @@ class EvolvePlatform:
                 self.engine, self.collector, bounds=self.bounds, **kwargs
             )
         if name == "adaptive":
+            kwargs.setdefault("rng", self.rng.stream("control/jitter"))
             return AdaptiveAutoscaler(
                 self.engine,
                 self.collector,

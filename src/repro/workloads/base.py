@@ -10,9 +10,10 @@ Deployment-replicas / pod-resize surface of the real system.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Mapping
 
-from repro.cluster.api import ClusterAPI
+from repro.cluster.api import ActuationError, ClusterAPI
 from repro.cluster.pod import Pod, PodPhase, PodSpec, WorkloadClass
 from repro.cluster.resources import ResourceVector
 from repro.sim.engine import Engine, PeriodicHandle
@@ -80,6 +81,16 @@ class Application:
         self.maintain_replicas = maintain_replicas
         self._desired_replicas = initial_replicas
         self.replacements = 0
+        # Crash-loop backoff for self-healing: repeated replacement rounds
+        # within `restart_window` delay the next round exponentially
+        # instead of resubmitting hot (CrashLoopBackOff analogue).
+        self.restart_backoff_base = 5.0
+        self.restart_backoff_cap = 300.0
+        self.restart_window = 600.0
+        self.restart_round_threshold = 3
+        self.crash_loop_backoffs = 0
+        self._replacement_rounds: deque[float] = deque(maxlen=32)
+        self._resubmit_backoff_until = 0.0
         self._next_index = 0
         self._pod_names: list[str] = []
         self._tick_handle: PeriodicHandle | None = None
@@ -142,11 +153,47 @@ class Application:
         self._last_tick = now
         self._prune_terminal_pods()
         if self.maintain_replicas and not self.finished:
+            self._heal_replicas(now)
+        if dt > 0:
+            self.tick(dt, now)
+
+    def _heal_replicas(self, now: float) -> None:
+        """Resubmit lost replicas, with crash-loop backoff.
+
+        One tick that resubmits (however many pods) counts as one
+        *replacement round*. Once ``restart_round_threshold`` rounds land
+        inside ``restart_window`` — pods dying as fast as they are
+        replaced — the next round is delayed exponentially up to
+        ``restart_backoff_cap`` instead of resubmitting immediately.
+        Transient actuation faults on the resubmit path are absorbed and
+        retried on a later tick.
+        """
+        if len(self._pod_names) >= self._desired_replicas:
+            return
+        if now < self._resubmit_backoff_until:
+            return
+        resubmitted = 0
+        try:
             while len(self._pod_names) < self._desired_replicas:
                 self._submit_replica()
                 self.replacements += 1
-        if dt > 0:
-            self.tick(dt, now)
+                resubmitted += 1
+        except ActuationError:
+            pass  # the next tick (or backoff expiry) retries
+        if resubmitted == 0:
+            return
+        self._replacement_rounds.append(now)
+        recent = [
+            t for t in self._replacement_rounds if now - t <= self.restart_window
+        ]
+        excess = len(recent) - self.restart_round_threshold
+        if excess >= 0:
+            backoff = min(
+                self.restart_backoff_cap,
+                self.restart_backoff_base * (2.0 ** excess),
+            )
+            self._resubmit_backoff_until = now + backoff
+            self.crash_loop_backoffs += 1
 
     def tick(self, dt: float, now: float) -> None:
         """Advance the performance model by ``dt`` seconds. Override."""

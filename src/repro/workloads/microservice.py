@@ -14,7 +14,6 @@ excursions rather than instantaneous equilibria.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.cost import (
-    CostReport,
     PriceSheet,
     app_cost,
     cluster_provisioned_cost,

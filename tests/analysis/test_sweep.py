@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.sweep import SweepResult, sweep
+from repro.analysis.sweep import sweep
 
 
 def fake_run(params):

@@ -124,7 +124,7 @@ class TestAdaptiveAutoscaler:
         autoscaler = AdaptiveAutoscaler(engine, collector, bounds=BOUNDS)
         autoscaler.attach(svc)
         autoscaler.start()
-        handle = engine.every(
+        engine.every(
             1.0,
             lambda: [
                 api.bind_pod(p.name, "node-0") for p in api.pending_pods()

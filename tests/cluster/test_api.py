@@ -1,10 +1,7 @@
 """Unit tests for the ClusterAPI facade."""
 
-import pytest
-
 from repro.cluster.events import PodStarted, PodSubmitted
 from repro.cluster.pod import PodPhase, WorkloadClass
-from repro.cluster.resources import ResourceVector
 from tests.conftest import make_spec
 
 

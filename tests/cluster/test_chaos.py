@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.cluster.chaos import ChaosMonkey, FailureInjector
+from repro.cluster.chaos import (
+    ChaosMonkey,
+    DegradationInjector,
+    FailureInjector,
+    FaultLog,
+    NodeCrashDomain,
+    NodeDegradationDomain,
+)
 from repro.cluster.cluster import ClusterError
 from repro.cluster.pod import PodPhase
 from repro.cluster.resources import ResourceVector
@@ -13,6 +20,11 @@ from tests.conftest import make_spec
 @pytest.fixture
 def injector(cluster):
     return FailureInjector(cluster)
+
+
+@pytest.fixture
+def degrader(cluster):
+    return DegradationInjector(cluster)
 
 
 class TestFailureInjector:
@@ -69,6 +81,107 @@ class TestFailureInjector:
         injector.fail_node("node-0")
         assert injector.failures[0].time == 42.0
         assert injector.failures[0].node_name == "node-0"
+
+    def test_episodes_opened_and_closed(self, engine, cluster, injector):
+        engine.run_until(10.0)
+        injector.fail_node("node-0")
+        episode = injector.log.episodes[0]
+        assert episode.kind == "node-crash" and episode.active
+        engine.run_until(60.0)
+        injector.recover_node("node-0")
+        assert not episode.active
+        assert episode.duration() == pytest.approx(50.0)
+
+    def test_recover_preserves_capacity_change_made_while_down(
+        self, cluster, injector
+    ):
+        """Delta-restore: recovery must not clobber operator resizes that
+        happened while the node was dark (the stale-snapshot bug)."""
+        node = cluster.get_node("node-0")
+        injector.fail_node("node-0")
+        # Operator shrinks the machine while it is down (e.g. a flaky DIMM
+        # is pulled): capacity and the healthy ceiling drop with it.
+        node.capacity = node.capacity.replace(cpu=node.capacity.cpu / 2)
+        injector.recover_node("node-0")
+        # The restored allocatable is clamped to the *new* nominal ceiling,
+        # not the pre-failure snapshot.
+        assert node.allocatable.cpu == node.capacity.cpu
+        assert node.allocatable.memory == pytest.approx(64.0)
+
+    def test_recover_composes_with_degradation(self, cluster, injector, degrader):
+        """A degradation applied before the crash survives crash recovery
+        until the degradation itself is restored."""
+        node = cluster.get_node("node-0")
+        degrader.degrade_node("node-0", 0.5)
+        assert node.allocatable.cpu == pytest.approx(8.0)
+        injector.fail_node("node-0")
+        assert node.allocatable.is_zero()
+        injector.recover_node("node-0")
+        # Back to the degraded level, not full capacity.
+        assert node.allocatable.cpu == pytest.approx(8.0)
+        degrader.restore_node("node-0")
+        assert node.allocatable.cpu == pytest.approx(16.0)
+
+
+class TestDegradationInjector:
+    def test_degrade_shrinks_allocatable(self, cluster, degrader):
+        node = cluster.get_node("node-0")
+        degrader.degrade_node("node-0", 0.25)
+        assert node.allocatable.cpu == pytest.approx(4.0)
+        assert degrader.is_degraded("node-0")
+        assert degrader.degraded_nodes() == ["node-0"]
+
+    def test_degrade_evicts_lowest_priority_first(self, engine, cluster, degrader):
+        cluster.submit(make_spec("low", cpu=6, priority=0))
+        cluster.submit(make_spec("high", cpu=6, priority=10))
+        cluster.bind("low", "node-0")
+        cluster.bind("high", "node-0")
+        engine.run_until(10.0)
+        # 25% of 16 cores = 4: only one 6-core pod cannot fit either; both
+        # cannot; the low-priority one goes first, then the high one.
+        degrader.degrade_node("node-0", 0.5)  # 8 cores: evict one pod
+        assert cluster.get_pod("low").phase == PodPhase.EVICTED
+        assert cluster.get_pod("high").phase == PodPhase.RUNNING
+        assert degrader.evictions == 1
+        cluster.verify_invariants()
+
+    def test_survivors_keep_running(self, engine, cluster, degrader):
+        cluster.submit(make_spec("small", cpu=2))
+        cluster.bind("small", "node-0")
+        engine.run_until(10.0)
+        degrader.degrade_node("node-0", 0.5)
+        assert cluster.get_pod("small").phase == PodPhase.RUNNING
+
+    def test_restore_returns_capacity(self, cluster, degrader):
+        node = cluster.get_node("node-0")
+        original = node.allocatable
+        degrader.degrade_node("node-0", 0.5)
+        degrader.restore_node("node-0")
+        assert node.allocatable == original
+        assert not degrader.is_degraded("node-0")
+
+    def test_double_degrade_rejected(self, cluster, degrader):
+        degrader.degrade_node("node-0", 0.5)
+        with pytest.raises(ClusterError):
+            degrader.degrade_node("node-0", 0.5)
+
+    def test_restore_undegraded_rejected(self, cluster, degrader):
+        with pytest.raises(ClusterError):
+            degrader.restore_node("node-0")
+
+    def test_invalid_factor(self, cluster, degrader):
+        for factor in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                degrader.degrade_node("node-0", factor)
+
+    def test_episode_logged(self, engine, cluster, degrader):
+        engine.run_until(5.0)
+        degrader.degrade_node("node-0", 0.5)
+        engine.run_until(25.0)
+        degrader.restore_node("node-0")
+        episode = degrader.log.episodes[0]
+        assert episode.kind == "node-degradation"
+        assert episode.duration() == pytest.approx(20.0)
 
 
 class TestChaosMonkey:
@@ -127,3 +240,104 @@ class TestChaosMonkey:
             ChaosMonkey(engine, injector, rng, repair_time=0)
         with pytest.raises(ValueError):
             ChaosMonkey(engine, injector, rng, max_concurrent_failures=0)
+
+    def test_bursty_strikes_never_exceed_cap(self, engine, cluster, injector, degrader):
+        """Near-continuous Poisson strikes with slow repairs: the cap must
+        hold at every instant, across fault domains."""
+        rng = np.random.default_rng(9)
+        monkey = ChaosMonkey(
+            engine, injector, rng,
+            mtbf=2.0, repair_time=5000.0, max_concurrent_failures=2,
+            domains=[
+                NodeCrashDomain(injector, rng),
+                NodeDegradationDomain(degrader, rng, factor=0.5),
+            ],
+        )
+        monkey.start()
+        for t in range(10, 500, 10):
+            engine.run_until(float(t))
+            assert monkey.active_faults() <= 2
+            assert (
+                len(injector.failed_nodes()) + len(degrader.degraded_nodes()) <= 2
+            )
+        assert monkey.strikes >= 1
+
+    def test_stop_lets_scheduled_heals_run(self, engine, cluster, injector):
+        """fail → stop → repair ordering: stopping the monkey must not
+        orphan active faults — their heals are already scheduled."""
+        monkey = ChaosMonkey(
+            engine, injector, np.random.default_rng(4),
+            mtbf=20.0, repair_time=100.0,
+        )
+        monkey.start()
+        while not injector.failed_nodes():
+            engine.run_until(engine.now + 10.0)
+        monkey.stop()
+        engine.run_until(engine.now + 200.0)
+        assert injector.failed_nodes() == []
+        assert injector.recoveries == len(injector.failures)
+        assert monkey.active_faults() == 0
+
+    def test_heal_tolerates_external_recovery(self, engine, cluster, injector):
+        """An operator recovering the node before the monkey's heal fires
+        must not crash the heal."""
+        monkey = ChaosMonkey(
+            engine, injector, np.random.default_rng(6),
+            mtbf=20.0, repair_time=500.0,
+        )
+        monkey.start()
+        while not injector.failed_nodes():
+            engine.run_until(engine.now + 10.0)
+        injector.recover_node(injector.failed_nodes()[0])
+        engine.run_until(engine.now + 1000.0)  # monkey heal fires harmlessly
+        assert injector.recoveries >= 1
+
+    def test_multi_domain_deterministic_replay(self, engine, cluster):
+        """Same seed → identical episode sequence across fault domains."""
+
+        def run(seed):
+            from repro.sim.engine import Engine
+            from tests.conftest import make_cluster
+
+            eng = Engine()
+            clus = make_cluster(eng)
+            log = FaultLog()
+            inj = FailureInjector(clus, log=log)
+            deg = DegradationInjector(clus, log=log)
+            rng = np.random.default_rng(seed)
+            monkey = ChaosMonkey(
+                eng, inj, rng, mtbf=50.0, repair_time=30.0,
+                max_concurrent_failures=2,
+                domains=[
+                    NodeCrashDomain(inj, rng),
+                    NodeDegradationDomain(deg, rng, factor=0.5),
+                ],
+            )
+            monkey.start()
+            eng.run_until(2000.0)
+            return [(e.kind, e.target, e.start) for e in log.episodes]
+
+        first = run(7)
+        assert first == run(7)
+        assert first != run(8)
+        assert {kind for kind, _, _ in first} == {"node-crash", "node-degradation"}
+
+    def test_default_monkey_matches_explicit_crash_domain(self):
+        """The default (crash-only) monkey must not burn extra RNG draws on
+        domain selection — seeded legacy experiments must replay identically
+        whether the domain list is implicit or explicit."""
+        from repro.sim.engine import Engine
+        from tests.conftest import make_cluster
+
+        def run(explicit):
+            eng = Engine()
+            inj = FailureInjector(make_cluster(eng))
+            rng = np.random.default_rng(7)
+            domains = [NodeCrashDomain(inj, rng)] if explicit else None
+            monkey = ChaosMonkey(eng, inj, rng, mtbf=100.0, repair_time=30.0,
+                                 domains=domains)
+            monkey.start()
+            eng.run_until(1000.0)
+            return [(f.time, f.node_name) for f in inj.failures]
+
+        assert run(explicit=False) == run(explicit=True)

@@ -14,8 +14,7 @@ from repro.cluster.events import (
 from repro.cluster.node import Node
 from repro.cluster.pod import PodPhase
 from repro.cluster.resources import ResourceVector
-from repro.sim.engine import Engine
-from tests.conftest import make_cluster, make_spec
+from tests.conftest import make_spec
 
 
 def test_duplicate_node_names_rejected(engine):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.resources import RESOURCES, ResourceVector
+from repro.cluster.resources import ResourceVector
 from repro.control.estimator import BottleneckEstimator, SaturationSnapshot
 
 

@@ -10,7 +10,7 @@ from repro.platform.config import ClusterSpec, PlatformConfig
 from repro.platform.evolve import EvolvePlatform
 from repro.workloads.microservice import Microservice, ServiceDemands
 from repro.workloads.plo import LatencyPLO
-from repro.workloads.traces import ConstantTrace, StepTrace
+from repro.workloads.traces import ConstantTrace
 
 
 BOUNDS = AllocationBounds(

@@ -1,7 +1,5 @@
 """Integration tests: tenant quotas on the full platform."""
 
-import pytest
-
 from repro.cluster.resources import ResourceVector
 from repro.platform.config import ClusterSpec, PlatformConfig
 from repro.platform.evolve import EvolvePlatform

@@ -105,6 +105,56 @@ def test_hpc_gang_preempts_batch_end_to_end():
     assert job.running_pods()
 
 
+@pytest.mark.slow
+def test_safe_mode_engages_and_releases_on_scrape_loss():
+    """Metrics pipeline goes dark → the controller freezes at the last
+    known-good allocation (safe mode) and releases once scrapes resume."""
+    platform = build(policy="adaptive")
+    platform.deploy_microservice(
+        "svc", trace=ConstantTrace(150), demands=DEMANDS,
+        allocation=ResourceVector(cpu=1, memory=1, disk_bw=20, net_bw=20),
+        plo=LatencyPLO(0.05, window=30), replicas=3,
+    )
+    platform.run(300.0)
+    manager = platform.policy.manager
+    assert manager.resilience_stats()["safe_mode_entries"] == 0
+    platform.metrics_faults.drop_scrapes(platform.engine.now, 120.0)
+    platform.run(120.0)
+    stats = manager.resilience_stats()
+    assert stats["safe_mode_entries"] >= 1
+    platform.run(180.0)
+    stats = manager.resilience_stats()
+    assert stats["safe_mode_exits"] >= 1
+    series = platform.collector.series("control/svc/safe_mode")
+    assert max(series.to_lists()[1]) == 1.0
+    assert series.last() == 0.0  # released, not stuck
+
+
+@pytest.mark.slow
+def test_degradation_recovers_end_to_end():
+    """Partial capacity loss: evicted pods respawn elsewhere and the
+    degraded node returns to full allocatable after restore."""
+    platform = build(policy="adaptive")
+    svc = platform.deploy_microservice(
+        "svc", trace=ConstantTrace(200), demands=DEMANDS,
+        allocation=ResourceVector(cpu=4, memory=2, disk_bw=20, net_bw=20),
+        plo=LatencyPLO(0.05, window=30), replicas=4,
+    )
+    platform.run(600.0)
+    victim = svc.running_pods()[0].node_name
+    before = platform.cluster.get_node(victim).allocatable
+    platform.degrader.degrade_node(victim, 0.3)
+    platform.run(300.0)
+    # The policy may also scale horizontally; the point is no replica
+    # stays lost after the partial capacity loss.
+    assert len(svc.running_pods()) >= 4
+    platform.degrader.restore_node(victim)
+    platform.run(60.0)
+    assert platform.cluster.get_node(victim).allocatable == before
+    episode = platform.fault_log.by_kind("node-degradation")[0]
+    assert not episode.active
+
+
 def test_failed_node_pods_marked_evicted():
     platform = build()
     platform.deploy_microservice(

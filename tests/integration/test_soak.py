@@ -10,8 +10,7 @@ the run healthy.
 
 import pytest
 
-from repro.cluster.pod import PodPhase
-from repro.cluster.resources import RESOURCES, ResourceVector
+from repro.cluster.resources import ResourceVector
 from repro.platform.config import ClusterSpec, NodeGroup, PlatformConfig
 from repro.platform.evolve import EvolvePlatform
 from repro.storage.placement import spread_blocks

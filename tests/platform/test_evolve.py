@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cluster.pod import WorkloadClass
 from repro.cluster.resources import ResourceVector
 from repro.platform.config import ClusterSpec
 from repro.platform.evolve import EvolvePlatform

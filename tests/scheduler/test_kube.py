@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster.pod import PodPhase
-from repro.scheduler.kube import KubeScheduler, least_allocated_score
+from repro.scheduler.kube import KubeScheduler
 from tests.conftest import make_spec
 
 

@@ -1,7 +1,5 @@
 """Unit tests for preemption planning and the preempting scheduler."""
 
-import pytest
-
 from repro.cluster.node import Node
 from repro.cluster.pod import Pod, PodPhase, WorkloadClass
 from repro.cluster.resources import ResourceVector

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cluster.pod import WorkloadClass
-from repro.cluster.resources import ResourceVector
 from repro.scheduler.converged import ConvergedScheduler
 from repro.scheduler.kube import least_allocated_score, most_allocated_score
 from tests.conftest import make_spec

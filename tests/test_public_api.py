@@ -16,8 +16,12 @@ PUBLIC_SURFACE = {
     "repro.sim": ["Engine", "RngRegistry", "SimulationError"],
     "repro.cluster": ["Cluster", "ClusterAPI", "Node", "Pod", "PodSpec",
                       "PodPhase", "WorkloadClass", "ResourceVector",
-                      "FailureInjector", "ChaosMonkey", "QuotaManager"],
-    "repro.metrics": ["TimeSeries", "MetricsCollector", "MetricsSource"],
+                      "FailureInjector", "ChaosMonkey", "QuotaManager",
+                      "DegradationInjector", "ActuationFaultInjector",
+                      "ActuationError", "FaultLog", "FaultEpisode",
+                      "NodeCrashDomain", "NodeDegradationDomain"],
+    "repro.metrics": ["TimeSeries", "MetricsCollector", "MetricsSource",
+                      "MetricsFaultInjector"],
     "repro.workloads": ["Application", "Microservice", "ServiceDemands",
                         "BigDataJob", "Stage", "HPCJob", "StreamJob",
                         "Operator", "LatencyPLO",
@@ -29,7 +33,8 @@ PUBLIC_SURFACE = {
     "repro.control": ["PIDController", "PIDGains", "AdaptiveGainTuner",
                       "BottleneckEstimator", "MultiResourceController",
                       "AllocationBounds", "ControlDecision",
-                      "ControlLoopManager", "FeedforwardScaler"],
+                      "ControlLoopManager", "ResilienceConfig",
+                      "FeedforwardScaler"],
     "repro.autoscaler": ["StaticPolicy", "HorizontalPodAutoscaler",
                          "VerticalPodAutoscaler", "AdaptiveAutoscaler",
                          "HorizontalEscapePolicy"],
@@ -43,7 +48,9 @@ PUBLIC_SURFACE = {
     "repro.analysis": ["PLOMonitor", "utilization_summary", "settling_time",
                        "recovery_time", "overshoot", "format_table",
                        "PriceSheet", "app_cost", "PowerModel",
-                       "cluster_energy"],
+                       "cluster_energy", "EpisodeRecovery", "RecoveryStats",
+                       "fault_recovery_report", "reconvergence_time",
+                       "summarize"],
 }
 
 
