@@ -13,9 +13,12 @@ from repro.analysis.cost import CostReport, PriceSheet, app_cost, cluster_provis
 from repro.analysis.energy import EnergyReport, PowerModel, cluster_energy
 from repro.analysis.recovery import (
     EpisodeRecovery,
+    FailoverStats,
     RecoveryStats,
+    failover_stats,
     fault_recovery_report,
     reconvergence_time,
+    series_divergence,
     summarize,
 )
 
@@ -36,8 +39,11 @@ __all__ = [
     "format_table",
     "series_to_rows",
     "EpisodeRecovery",
+    "FailoverStats",
     "RecoveryStats",
+    "failover_stats",
     "fault_recovery_report",
     "reconvergence_time",
+    "series_divergence",
     "summarize",
 ]

@@ -117,6 +117,77 @@ def fault_recovery_report(
     return reports
 
 
+@dataclass(frozen=True)
+class FailoverStats:
+    """Aggregate over control-plane :class:`~repro.control.ha.FailoverEvent`.
+
+    Only events with a measured ``gap`` count as failovers — the initial
+    election has nothing to fail over from.
+    """
+
+    elections: int
+    failovers: int
+    mean_gap: float | None
+    max_gap: float | None
+    snapshot_restores: int
+    wal_replayed: int
+    wal_deduped: int
+    wal_reissued: int
+    wal_failed: int
+
+
+def failover_stats(events: Sequence) -> FailoverStats:
+    """Summarize a control plane's ``failovers`` list (R-T8 reporting)."""
+    gaps = [e.gap for e in events if e.gap is not None]
+    return FailoverStats(
+        elections=len(events),
+        failovers=len(gaps),
+        mean_gap=sum(gaps) / len(gaps) if gaps else None,
+        max_gap=max(gaps) if gaps else None,
+        snapshot_restores=sum(1 for e in events if e.snapshot_restored),
+        wal_replayed=sum(e.wal_replayed for e in events),
+        wal_deduped=sum(e.wal_deduped for e in events),
+        wal_reissued=sum(e.wal_reissued for e in events),
+        wal_failed=sum(e.wal_failed for e in events),
+    )
+
+
+def series_divergence(
+    collector_a: MetricsCollector,
+    collector_b: MetricsCollector,
+    name: str,
+    *,
+    start: float,
+    end: float,
+    step: float = 10.0,
+) -> float | None:
+    """Max absolute difference between two runs' series over [start, end].
+
+    Samples both series on a fixed grid with step interpolation, so runs
+    with slightly different sample times still compare. Used to measure
+    how far a failover run's allocations drift from a crash-free run of
+    the same seed. Returns None when either series is absent or never
+    overlaps the window.
+    """
+    if step <= 0:
+        raise ValueError("step must be positive")
+    if not collector_a.has_series(name) or not collector_b.has_series(name):
+        return None
+    series_a = collector_a.series(name)
+    series_b = collector_b.series(name)
+    worst: float | None = None
+    t = start
+    while t <= end + 1e-9:
+        va = series_a.value_at(t)
+        vb = series_b.value_at(t)
+        if va is not None and vb is not None:
+            diff = abs(va - vb)
+            if worst is None or diff > worst:
+                worst = diff
+        t += step
+    return worst
+
+
 def summarize(reports: Sequence[EpisodeRecovery]) -> RecoveryStats:
     """Aggregate MTTR / re-convergence across episodes."""
     mttrs = [r.mttr for r in reports if r.mttr is not None]

@@ -147,6 +147,7 @@ class AdaptiveAutoscaler:
         feedforward: bool = False,
         resilience: ResilienceConfig | None = None,
         rng=None,
+        fault_log=None,
     ):
         self.engine = engine
         self.collector = collector
@@ -160,7 +161,8 @@ class AdaptiveAutoscaler:
             FeedforwardScaler(collector) if feedforward else None
         )
         self.manager = ControlLoopManager(
-            engine, collector, interval=interval, resilience=resilience, rng=rng
+            engine, collector, interval=interval, resilience=resilience,
+            rng=rng, fault_log=fault_log,
         )
         self.escape = (
             HorizontalEscapePolicy(

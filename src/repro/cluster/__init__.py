@@ -13,6 +13,8 @@ from repro.cluster.pod import Pod, PodPhase, PodSpec, WorkloadClass
 from repro.cluster.node import Node
 from repro.cluster.events import (
     ClusterEvent,
+    LeaderDeposed,
+    LeaderElected,
     PodEvicted,
     PodFinished,
     PodResized,
@@ -20,23 +22,41 @@ from repro.cluster.events import (
     PodStarted,
     PodSubmitted,
 )
-from repro.cluster.cluster import Cluster, ClusterError
-from repro.cluster.api import ClusterAPI
+from repro.cluster.cluster import Cluster, ClusterError, NodeNotFound, PodNotFound
+from repro.cluster.api import (
+    ActuationError,
+    ClusterAPI,
+    Lease,
+    PartitionError,
+    ScopedClusterAPI,
+)
 from repro.cluster.chaos import (
     ActuationFaultInjector,
     ChaosMonkey,
+    ControllerCrashDomain,
     DegradationInjector,
     FailureInjector,
     FaultEpisode,
     FaultLog,
     NodeCrashDomain,
     NodeDegradationDomain,
+    PartitionDomain,
+    PartitionInjector,
 )
-from repro.cluster.api import ActuationError
 from repro.cluster.quota import QuotaManager
 
 __all__ = [
     "ActuationError",
+    "ControllerCrashDomain",
+    "Lease",
+    "LeaderDeposed",
+    "LeaderElected",
+    "NodeNotFound",
+    "PartitionDomain",
+    "PartitionError",
+    "PartitionInjector",
+    "PodNotFound",
+    "ScopedClusterAPI",
     "ActuationFaultInjector",
     "ChaosMonkey",
     "DegradationInjector",

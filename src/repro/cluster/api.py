@@ -8,10 +8,11 @@ client with mechanical changes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from typing import Callable, Type, TypeVar
 
 from repro.cluster.cluster import Cluster, ClusterError
-from repro.cluster.events import ClusterEvent
+from repro.cluster.events import ClusterEvent, LeaderDeposed, LeaderElected
 from repro.cluster.node import Node
 from repro.cluster.pod import Pod, PodPhase, PodSpec, WorkloadClass
 from repro.cluster.resources import ResourceVector
@@ -30,6 +31,41 @@ class ActuationError(ClusterError):
     """
 
 
+class PartitionError(ActuationError):
+    """The calling controller is partitioned from the API server.
+
+    Raised by every verb of a :class:`ScopedClusterAPI` whose identity is
+    inside an injected partition window — lease renewals and actuations
+    fail alike, which is what forces a partitioned leader to stop
+    actuating and lets a standby take over without split-brain.
+    Subclasses :class:`ActuationError` so existing retry/backoff paths
+    absorb it.
+    """
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A TTL lease stored in the API server (leader-election primitive).
+
+    ``generation`` increments every time the holder *changes*; it doubles
+    as a fencing token — a deposed leader can detect that leadership
+    moved even if it was partitioned through the whole handover.
+    """
+
+    name: str
+    holder: str
+    ttl: float
+    acquired_at: float
+    renewed_at: float
+    generation: int
+
+    def expires_at(self) -> float:
+        return self.renewed_at + self.ttl
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at()
+
+
 class ClusterAPI:
     """Narrow, kube-like verbs over a :class:`~repro.cluster.cluster.Cluster`.
 
@@ -40,6 +76,8 @@ class ClusterAPI:
     def __init__(self, cluster: Cluster):
         self._cluster = cluster
         self.actuation_faults = None  # optional ActuationFaultInjector
+        self.partitions = None  # optional PartitionInjector
+        self._leases: dict[str, Lease] = {}
 
     def _check_actuation(self, verb: str) -> None:
         faults = self.actuation_faults
@@ -141,6 +179,68 @@ class ClusterAPI:
     def total_usage(self) -> ResourceVector:
         return self._cluster.total_usage()
 
+    # -- leases (leader-election primitive) -------------------------------------
+
+    def get_lease(self, name: str) -> Lease | None:
+        """Current lease record, expired or not; None if never acquired."""
+        return self._leases.get(name)
+
+    def try_acquire_lease(self, name: str, holder: str, ttl: float) -> Lease | None:
+        """Acquire (or renew, when already held) a TTL lease.
+
+        Succeeds when the lease is free, expired, or already held by
+        ``holder``; returns None when another holder's lease is still
+        live. A holder change increments the generation and publishes
+        :class:`~repro.cluster.events.LeaderElected` (and
+        :class:`~repro.cluster.events.LeaderDeposed` for the previous
+        holder when one expired underneath).
+        """
+        if ttl <= 0:
+            raise ClusterError("lease ttl must be positive")
+        now = self._cluster.now
+        current = self._leases.get(name)
+        if current is not None and current.holder == holder:
+            lease = replace(current, renewed_at=now, ttl=ttl)
+            self._leases[name] = lease
+            return lease
+        if current is not None and not current.expired(now):
+            return None
+        generation = 1 if current is None else current.generation + 1
+        lease = Lease(name, holder, ttl, now, now, generation)
+        self._leases[name] = lease
+        if current is not None:
+            self._cluster.events.publish(
+                LeaderDeposed(now, name, current.holder, "lease-expired")
+            )
+        self._cluster.events.publish(LeaderElected(now, name, holder, generation))
+        return lease
+
+    def renew_lease(self, name: str, holder: str) -> Lease | None:
+        """Heartbeat an owned lease; None when it was lost (expired or
+        taken over) — the caller must step down, not keep actuating."""
+        current = self._leases.get(name)
+        now = self._cluster.now
+        if current is None or current.holder != holder or current.expired(now):
+            return None
+        lease = replace(current, renewed_at=now)
+        self._leases[name] = lease
+        return lease
+
+    def release_lease(self, name: str, holder: str) -> bool:
+        """Voluntarily give up a lease (clean shutdown/step-down)."""
+        current = self._leases.get(name)
+        if current is None or current.holder != holder:
+            return False
+        del self._leases[name]
+        self._cluster.events.publish(
+            LeaderDeposed(self._cluster.now, name, holder, "released")
+        )
+        return True
+
+    def for_controller(self, identity: str) -> "ScopedClusterAPI":
+        """A per-controller view whose verbs fail while partitioned."""
+        return ScopedClusterAPI(self, identity)
+
     # -- watch -----------------------------------------------------------------------
 
     def watch(
@@ -148,3 +248,66 @@ class ClusterAPI:
     ) -> Callable[[], None]:
         """Subscribe to cluster events; returns an unsubscribe callable."""
         return self._cluster.events.subscribe(event_type, handler)
+
+
+class ScopedClusterAPI:
+    """A :class:`ClusterAPI` view bound to one controller identity.
+
+    Every verb first checks whether the identity is inside an injected
+    API-server partition window (:class:`~repro.cluster.chaos.PartitionInjector`)
+    and raises :class:`PartitionError` if so. Control-plane replicas do
+    their lease traffic — and gate their actuations — through this view,
+    so a partition makes the *whole* API unreachable for that replica,
+    exactly like losing the API server: renewals fail, actuations fail,
+    and the only safe behaviour left is to stop.
+    """
+
+    def __init__(self, base: ClusterAPI, identity: str):
+        self._base = base
+        self.identity = identity
+
+    @property
+    def now(self) -> float:
+        """Local clock — readable even while partitioned."""
+        return self._base.now
+
+    def is_partitioned(self) -> bool:
+        injector = self._base.partitions
+        return injector is not None and injector.is_partitioned(
+            self.identity, self._base.now
+        )
+
+    def check_partition(self) -> None:
+        """Raise :class:`PartitionError` while this identity is cut off."""
+        if self.is_partitioned():
+            raise PartitionError(
+                f"controller {self.identity!r} cannot reach the API server"
+            )
+
+    # -- lease verbs (the scoped surface the control plane uses) ------------
+
+    def get_lease(self, name: str) -> Lease | None:
+        self.check_partition()
+        return self._base.get_lease(name)
+
+    def try_acquire_lease(self, name: str, holder: str, ttl: float) -> Lease | None:
+        self.check_partition()
+        return self._base.try_acquire_lease(name, holder, ttl)
+
+    def renew_lease(self, name: str, holder: str) -> Lease | None:
+        self.check_partition()
+        return self._base.renew_lease(name, holder)
+
+    def release_lease(self, name: str, holder: str) -> bool:
+        self.check_partition()
+        return self._base.release_lease(name, holder)
+
+    # -- pass-through reads (partition-gated like everything else) ----------
+
+    def list_pods(self, **kwargs) -> list[Pod]:
+        self.check_partition()
+        return self._base.list_pods(**kwargs)
+
+    def running_pods(self, app: str) -> list[Pod]:
+        self.check_partition()
+        return self._base.running_pods(app)

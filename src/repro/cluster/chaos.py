@@ -15,6 +15,14 @@ loop) can be exercised and tested:
 * :class:`ActuationFaultInjector` — transient actuation failures; wired
   into :class:`~repro.cluster.api.ClusterAPI` so resizes and pod
   submissions raise :class:`~repro.cluster.api.ActuationError`.
+* :class:`PartitionInjector` — per-controller API-server unreachability;
+  wired into :class:`~repro.cluster.api.ClusterAPI` so every verb of a
+  partitioned controller's :class:`~repro.cluster.api.ScopedClusterAPI`
+  raises :class:`~repro.cluster.api.PartitionError`.
+* :class:`ControllerCrashDomain` / :class:`PartitionDomain` — strike the
+  *control plane itself* (kill or partition the leader replica of a
+  :class:`~repro.control.ha.ReplicatedControlPlane`), exercising leader
+  failover, snapshot restore, and WAL replay.
 * :class:`ChaosMonkey` — random strikes from a seeded RNG over a
   pluggable set of :class:`FaultDomain` verbs for soak experiments.
 
@@ -285,6 +293,63 @@ class ActuationFaultInjector:
         return False
 
 
+class PartitionInjector:
+    """Per-controller API-server partitions.
+
+    Wired into :class:`~repro.cluster.api.ClusterAPI` (``api.partitions``);
+    a partitioned identity's :class:`~repro.cluster.api.ScopedClusterAPI`
+    raises :class:`~repro.cluster.api.PartitionError` from every verb.
+    Windows may be bounded (``duration``) or open-ended (healed
+    explicitly by a chaos domain).
+    """
+
+    def __init__(self, *, log: FaultLog | None = None):
+        self.log = log if log is not None else FaultLog()
+        #: identity → (until-time or None for open-ended, episode)
+        self._partitioned: dict[str, tuple[float | None, FaultEpisode]] = {}
+        self.partitions_injected = 0
+
+    def partition(
+        self, identity: str, now: float, duration: float | None = None
+    ) -> FaultEpisode:
+        """Cut ``identity`` off from the API server.
+
+        With ``duration`` the window closes by itself (episode recorded
+        closed immediately); without, it stays open until :meth:`heal`.
+        """
+        if identity in self._partitioned and self.is_partitioned(identity, now):
+            raise ClusterError(f"controller {identity!r} is already partitioned")
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError("partition duration must be positive")
+            episode = self.log.record(
+                "controller-partition", identity, now, now + duration
+            )
+            self._partitioned[identity] = (now + duration, episode)
+        else:
+            episode = self.log.open("controller-partition", identity, now)
+            self._partitioned[identity] = (None, episode)
+        self.partitions_injected += 1
+        return episode
+
+    def is_partitioned(self, identity: str, now: float) -> bool:
+        entry = self._partitioned.get(identity)
+        if entry is None:
+            return False
+        until, _episode = entry
+        if until is not None and now >= until:
+            del self._partitioned[identity]
+            return False
+        return True
+
+    def heal(self, identity: str, now: float) -> None:
+        """Reconnect ``identity``; closes an open-ended episode."""
+        entry = self._partitioned.pop(identity, None)
+        if entry is not None:
+            _until, episode = entry
+            self.log.close(episode, now)
+
+
 # -- random fault scheduling ----------------------------------------------------
 
 
@@ -359,6 +424,114 @@ class NodeDegradationDomain:
     def heal(self, token: object) -> None:
         if self.degrader.is_degraded(str(token)):
             self.degrader.restore_node(str(token))
+
+
+class ControllerCrashDomain:
+    """Kill the control plane's current leader replica.
+
+    ``plane`` is any object with the :class:`~repro.control.ha.ReplicatedControlPlane`
+    surface (``engine``, ``leader_index()``, ``identity(i)``,
+    ``crash_replica(i)``, ``restart_replica(i)``, ``store``). With
+    ``corrupt_snapshot_probability`` > 0 the strike may also corrupt the
+    newest durable snapshot, forcing the successor to restore from an
+    older one and replay a longer WAL suffix — the torn-write case.
+    """
+
+    name = "controller-crash"
+
+    def __init__(
+        self,
+        plane,
+        rng: np.random.Generator,
+        *,
+        corrupt_snapshot_probability: float = 0.0,
+        log: FaultLog | None = None,
+    ):
+        if not 0.0 <= corrupt_snapshot_probability <= 1.0:
+            raise ValueError("corrupt_snapshot_probability must be in [0, 1]")
+        self.plane = plane
+        self.rng = rng
+        self.corrupt_snapshot_probability = corrupt_snapshot_probability
+        self.log = log if log is not None else FaultLog()
+        self.crashes = 0
+        self.snapshot_corruptions = 0
+
+    def strike(self) -> object | None:
+        leader = self.plane.leader_index()
+        if leader is None:
+            return None
+        now = self.plane.engine.now
+        if (
+            self.corrupt_snapshot_probability > 0
+            and self.plane.store is not None
+            and float(self.rng.random()) < self.corrupt_snapshot_probability
+            and self.plane.store.corrupt_latest(now)
+        ):
+            self.snapshot_corruptions += 1
+        episode = self.log.open(
+            "controller-crash", self.plane.identity(leader), now
+        )
+        self.plane.crash_replica(leader)
+        self.crashes += 1
+        return (leader, episode)
+
+    def heal(self, token: object) -> None:
+        index, episode = token
+        if not self.plane.is_alive(index):
+            self.plane.restart_replica(index)
+        self.log.close(episode, self.plane.engine.now)
+
+
+class PartitionDomain:
+    """Partition a controller replica from the API server.
+
+    Targets the current leader by default (``target="leader"``) — the
+    interesting case, since a partitioned leader must stop actuating and
+    hand over without split-brain — or a uniformly random live replica
+    (``target="random"``). The partition stays open until healed by the
+    monkey's repair clock.
+    """
+
+    name = "partition"
+
+    def __init__(
+        self,
+        plane,
+        injector: PartitionInjector,
+        rng: np.random.Generator,
+        *,
+        target: str = "leader",
+    ):
+        if target not in ("leader", "random"):
+            raise ValueError("target must be 'leader' or 'random'")
+        self.plane = plane
+        self.injector = injector
+        self.rng = rng
+        self.target = target
+        self.strikes = 0
+
+    def _pick(self) -> int | None:
+        if self.target == "leader":
+            return self.plane.leader_index()
+        candidates = self.plane.alive_indices()
+        if not candidates:
+            return None
+        return candidates[int(self.rng.integers(len(candidates)))]
+
+    def strike(self) -> str | None:
+        index = self._pick()
+        if index is None:
+            return None
+        identity = self.plane.identity(index)
+        now = self.plane.engine.now
+        if self.injector.is_partitioned(identity, now):
+            return None
+        self.injector.partition(identity, now)
+        self.strikes += 1
+        return identity
+
+    def heal(self, token: object) -> None:
+        self.injector.heal(str(token), self.plane.engine.now)
 
 
 class ChaosMonkey:

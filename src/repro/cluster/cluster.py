@@ -31,6 +31,24 @@ class ClusterError(RuntimeError):
     """Raised on invalid cluster operations."""
 
 
+class PodNotFound(ClusterError, KeyError):
+    """Lookup of a pod name the cluster has never seen.
+
+    Subclasses ``KeyError`` too so legacy ``except KeyError`` callers
+    keep working while new code catches the typed error.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
+
+
+class NodeNotFound(ClusterError, KeyError):
+    """Lookup of a node name that is not part of the cluster."""
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
     """Actuation-latency knobs, mirroring real-cluster behaviour.
@@ -83,13 +101,13 @@ class Cluster:
         try:
             return self.pods[name]
         except KeyError:
-            raise ClusterError(f"unknown pod {name!r}") from None
+            raise PodNotFound(f"unknown pod {name!r}") from None
 
     def get_node(self, name: str) -> Node:
         try:
             return self.nodes[name]
         except KeyError:
-            raise ClusterError(f"unknown node {name!r}") from None
+            raise NodeNotFound(f"unknown node {name!r}") from None
 
     def pods_of_app(self, app: str) -> list[Pod]:
         return [p for p in self.pods.values() if p.app == app]

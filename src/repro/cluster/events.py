@@ -65,6 +65,30 @@ class PodResized(ClusterEvent):
     new_allocation: ResourceVector
 
 
+@dataclass(frozen=True)
+class LeaderElected(ClusterEvent):
+    """A controller replica acquired (or took over) a control-plane lease.
+
+    ``pod_name`` carries the *lease* name — it is the watch key, matching
+    how Kubernetes leader-election surfaces through coordination Leases.
+    """
+
+    holder: str
+    generation: int
+
+
+@dataclass(frozen=True)
+class LeaderDeposed(ClusterEvent):
+    """A lease holder lost leadership (expiry takeover or release).
+
+    ``pod_name`` carries the lease name; ``holder`` is the *previous*
+    leader whose tenure ended.
+    """
+
+    holder: str
+    reason: str
+
+
 E = TypeVar("E", bound=ClusterEvent)
 
 

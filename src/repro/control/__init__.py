@@ -14,6 +14,10 @@ The pipeline per application:
    the three into per-dimension allocation targets.
 5. :class:`~repro.control.manager.ControlLoopManager` runs the loop on a
    fixed cadence against the metrics pipeline and actuates applications.
+
+For fault tolerance, :class:`~repro.control.ha.ReplicatedControlPlane`
+runs N managers behind lease-based leader election, persisting state via
+:class:`~repro.control.statestore.ControllerStateStore`.
 """
 
 from repro.control.pid import PIDController, PIDGains
@@ -26,9 +30,20 @@ from repro.control.multiresource import (
 )
 from repro.control.manager import ControlLoopManager, ResilienceConfig
 from repro.control.feedforward import FeedforwardScaler
+from repro.control.statestore import (
+    ControllerStateStore,
+    StateSnapshot,
+    WalRecord,
+)
+from repro.control.ha import FailoverEvent, ReplicatedControlPlane
 
 __all__ = [
+    "ControllerStateStore",
+    "FailoverEvent",
     "FeedforwardScaler",
+    "ReplicatedControlPlane",
+    "StateSnapshot",
+    "WalRecord",
     "PIDController",
     "PIDGains",
     "AdaptiveGainTuner",

@@ -116,3 +116,19 @@ class AdaptiveGainTuner:
     def reset(self) -> None:
         self.scale = 1.0
         self._errors.clear()
+
+    def export_state(self) -> dict:
+        """Durable-snapshot view (controller failover path)."""
+        return {
+            "scale": self.scale,
+            "errors": list(self._errors),
+            "oscillation_events": self.oscillation_events,
+            "sluggish_events": self.sluggish_events,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.scale = float(state["scale"])
+        self._errors.clear()
+        self._errors.extend(float(e) for e in state["errors"])
+        self.oscillation_events = int(state["oscillation_events"])
+        self.sluggish_events = int(state["sluggish_events"])

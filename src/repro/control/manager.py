@@ -170,6 +170,7 @@ class ControlLoopManager:
         usage_window: float | None = None,
         resilience: ResilienceConfig | None = None,
         rng: np.random.Generator | None = None,
+        fault_log=None,
     ):
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -179,6 +180,15 @@ class ControlLoopManager:
         self.usage_window = usage_window or interval
         self.resilience = resilience or ResilienceConfig()
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.fault_log = fault_log
+        # HA hooks (see repro.control.ha). ``partition_guard`` runs at the
+        # top of every actuation and may raise ActuationError (a partitioned
+        # leader cannot reach the API, so its writes fail like any other
+        # transient fault). ``actuation_sink`` is the write-ahead hook: it
+        # sees (app, kind, target) *before* the action is issued, so a crash
+        # mid-actuation still leaves a WAL record for the successor.
+        self.partition_guard: Callable[[], None] | None = None
+        self.actuation_sink: Callable[[str, str, object], None] | None = None
         self._entries: dict[str, _Entry] = {}
         self._handle: PeriodicHandle | None = None
         self.loops = 0
@@ -211,6 +221,10 @@ class ControlLoopManager:
         entry = self._entries.pop(app_name, None)
         if entry is not None:
             self._cancel_retry(entry)
+
+    def applications(self) -> dict[str, Application]:
+        """Registered applications by name (HA replay needs the objects)."""
+        return {name: entry.app for name, entry in self._entries.items()}
 
     def entry_stats(self, app_name: str) -> dict[str, int]:
         """Decision counts for one application (for tests/reports)."""
@@ -248,6 +262,89 @@ class ControlLoopManager:
             totals["breaker_trips"] += entry.breaker_trips
             totals["breaker_skips"] += entry.breaker_skips
         return totals
+
+    # -- state export / restore (control-plane HA) ----------------------------------
+
+    def export_state(self) -> dict[str, dict]:
+        """Per-application control state for a durable snapshot.
+
+        Captures everything a standby replica needs to resume each loop
+        mid-transient: controller internals (PID integrator, adaptive gain
+        scale), safe-mode and breaker latches, and the last-known-good
+        allocation. In-flight retry closures are deliberately *not*
+        exported — they die with the process; the WAL covers re-issuing
+        whatever was lost.
+        """
+        state: dict[str, dict] = {}
+        for name, entry in self._entries.items():
+            state[name] = {
+                "stats": dict(entry.stats),
+                "skipped": entry.skipped,
+                "stale_periods": entry.stale_periods,
+                "last_signal_time": entry.last_signal_time,
+                "safe_mode": entry.safe_mode,
+                "safe_mode_entries": entry.safe_mode_entries,
+                "safe_mode_exits": entry.safe_mode_exits,
+                "last_good_allocation": (
+                    entry.last_good_allocation.as_dict()
+                    if entry.last_good_allocation is not None
+                    else None
+                ),
+                "breaker_open_until": entry.breaker_open_until,
+                "breaker_trips": entry.breaker_trips,
+                "breaker_skips": entry.breaker_skips,
+                "directions": list(entry.directions),
+                "controller": entry.controller.export_state(),
+            }
+        return state
+
+    def restore_state(self, state: dict[str, dict]) -> None:
+        """Load a snapshot produced by :meth:`export_state`.
+
+        Unknown application names are ignored (the snapshot may predate an
+        unregister); registered apps absent from the snapshot keep their
+        current (freshly reset) state.
+        """
+        for name, app_state in state.items():
+            entry = self._entries.get(name)
+            if entry is None:
+                continue
+            entry.stats = dict(app_state["stats"])
+            entry.skipped = int(app_state["skipped"])
+            entry.stale_periods = int(app_state["stale_periods"])
+            entry.last_signal_time = app_state["last_signal_time"]
+            entry.safe_mode = bool(app_state["safe_mode"])
+            entry.safe_mode_entries = int(app_state["safe_mode_entries"])
+            entry.safe_mode_exits = int(app_state["safe_mode_exits"])
+            good = app_state["last_good_allocation"]
+            entry.last_good_allocation = (
+                ResourceVector.from_dict(good) if good is not None else None
+            )
+            entry.breaker_open_until = float(app_state["breaker_open_until"])
+            entry.breaker_trips = int(app_state["breaker_trips"])
+            entry.breaker_skips = int(app_state["breaker_skips"])
+            entry.directions.clear()
+            entry.directions.extend(app_state["directions"])
+            entry.controller.restore_state(app_state["controller"])
+
+    def reset_entries(self) -> None:
+        """Discard all in-memory control state (simulated process restart).
+
+        A crashed controller loses its integrators, latches, and pending
+        retries; a successor starts from here and then applies whatever the
+        statestore preserved via :meth:`restore_state`.
+        """
+        for entry in self._entries.values():
+            self._cancel_retry(entry)
+            entry.controller.reset()
+            entry.last_decision = None
+            entry.stale_periods = 0
+            entry.last_signal_time = None
+            entry.safe_mode = False
+            entry.last_good_allocation = None
+            entry.consecutive_failures = 0
+            entry.breaker_open_until = 0.0
+            entry.directions.clear()
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -343,6 +440,8 @@ class ControlLoopManager:
         circuit breaker instead of retrying forever.
         """
         try:
+            if self.partition_guard is not None:
+                self.partition_guard()
             action()
         except ActuationError:
             self._on_actuation_failure(entry, action, on_success)
@@ -383,6 +482,14 @@ class ControlLoopManager:
         entry.retry_handle = self.engine.schedule(
             delay, lambda: self._run_retry(entry, action, on_success)
         )
+        if self.fault_log is not None:
+            # Structured episode per retry window so MTTR attribution in
+            # analysis.recovery can separate retry latency from the outage.
+            now = self.engine.now
+            self.fault_log.record(
+                "actuation-retry", entry.app.name, now, now + delay,
+                detail=f"attempt={entry.retry_attempts}",
+            )
 
     def _run_retry(
         self,
@@ -507,6 +614,8 @@ class ControlLoopManager:
             def mark_good(entry=entry, target=target) -> None:
                 entry.last_good_allocation = target
 
+            if self.actuation_sink is not None:
+                self.actuation_sink(app.name, "resize", target)
             self._actuate(entry, apply_vertical, on_success=mark_good)
         elif entry.last_good_allocation is None:
             entry.last_good_allocation = app.current_allocation()
@@ -518,6 +627,8 @@ class ControlLoopManager:
                 def apply_horizontal(app=app, desired=desired) -> None:
                     app.scale_to(desired)
 
+                if self.actuation_sink is not None:
+                    self.actuation_sink(app.name, "scale", desired)
                 self._actuate(entry, apply_horizontal)
 
         self.collector.record(f"{prefix}/error", decision.error)

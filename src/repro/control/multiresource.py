@@ -140,6 +140,20 @@ class MultiResourceController:
         self.pid.reset()
         self.tuner.reset()
 
+    def export_state(self) -> dict:
+        """Snapshot of the mutable control state (for the HA statestore)."""
+        return {
+            "pid": self.pid.export_state(),
+            "tuner": self.tuner.export_state(),
+            "decisions": self.decisions,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Resume from an exported snapshot (controller failover path)."""
+        self.pid.restore_state(state["pid"])
+        self.tuner.restore_state(state["tuner"])
+        self.decisions = int(state["decisions"])
+
     def decide(
         self,
         error: float,

@@ -97,6 +97,31 @@ class PIDController:
         self._prev_filtered = None
         self.last_output = 0.0
 
+    def export_state(self) -> dict:
+        """Durable-snapshot view of the mutable loop state.
+
+        Everything a successor controller needs to resume mid-transient
+        without re-integrating from zero; gains/limits are configuration,
+        not state, and are not exported.
+        """
+        return {
+            "integral": self._integral,
+            "filtered_error": self._filtered_error,
+            "prev_filtered": self._prev_filtered,
+            "gain_scale": self.gain_scale,
+            "last_output": self.last_output,
+            "updates": self.updates,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state` (controller failover path)."""
+        self._integral = float(state["integral"])
+        self._filtered_error = state["filtered_error"]
+        self._prev_filtered = state["prev_filtered"]
+        self.gain_scale = float(state["gain_scale"])
+        self.last_output = float(state["last_output"])
+        self.updates = int(state["updates"])
+
     @property
     def integral_term(self) -> float:
         """Current integral contribution (ki × ∫e dt, clamped)."""

@@ -126,6 +126,19 @@ class PlatformConfig:
             cpu=8, memory=32, disk_bw=400, net_bw=1000
         )
     )
+    # -- control-plane fault tolerance (repro.control.ha) -------------------
+    #: Control-loop replicas behind lease-based leader election. 1 keeps
+    #: the legacy single-controller path (no plane, bit-identical runs).
+    controller_replicas: int = 1
+    #: Force the replicated plane even with one replica — the crash-visible
+    #: baseline of R-T8 (a sole replica that can die and restart).
+    controller_ha: bool = False
+    #: Leader lease TTL in seconds; None derives 2 × control_interval.
+    lease_ttl: float | None = None
+    #: Seconds between controller-state snapshots; None disables them.
+    snapshot_interval: float | None = 60.0
+    #: Delay before a statestore write is durable (fsync analogue).
+    fsync_latency: float = 0.005
 
     def __post_init__(self) -> None:
         for name in (
@@ -138,3 +151,11 @@ class PlatformConfig:
                 raise ValueError(f"{name} must be positive")
         if not self.min_allocation.fits_within(self.max_allocation):
             raise ValueError("min_allocation must fit within max_allocation")
+        if self.controller_replicas < 1:
+            raise ValueError("controller_replicas must be ≥ 1")
+        if self.lease_ttl is not None and self.lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        if self.snapshot_interval is not None and self.snapshot_interval <= 0:
+            raise ValueError("snapshot_interval must be positive")
+        if self.fsync_latency < 0:
+            raise ValueError("fsync_latency must be non-negative")

@@ -22,12 +22,15 @@ from repro.autoscaler.adaptive import AdaptiveAutoscaler
 from repro.cluster.chaos import (
     ActuationFaultInjector,
     ChaosMonkey,
+    ControllerCrashDomain,
     DegradationInjector,
     FailureInjector,
     FaultDomain,
     FaultLog,
     NodeCrashDomain,
     NodeDegradationDomain,
+    PartitionDomain,
+    PartitionInjector,
 )
 from repro.cluster.quota import QuotaManager
 from repro.autoscaler.hpa import HorizontalPodAutoscaler
@@ -37,7 +40,9 @@ from repro.cluster.api import ClusterAPI
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.pod import WorkloadClass
 from repro.cluster.resources import ResourceVector
+from repro.control.ha import ReplicatedControlPlane
 from repro.control.multiresource import AllocationBounds
+from repro.control.statestore import ControllerStateStore
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.faults import MetricsFaultInjector
 from repro.platform.config import ClusterSpec, PlatformConfig, build_nodes
@@ -136,6 +141,8 @@ class EvolvePlatform:
             self.rng.stream("faults/actuation"), log=self.fault_log
         )
         self.api.actuation_faults = self.actuation_faults
+        self.partition_faults = PartitionInjector(log=self.fault_log)
+        self.api.partitions = self.partition_faults
         self.collector = MetricsCollector(
             self.engine,
             self.api,
@@ -150,7 +157,37 @@ class EvolvePlatform:
             self.config.min_allocation, self.config.max_allocation
         )
         self.policy_name = policy
-        self.policy = self._build_policy(policy, policy_kwargs or {})
+        self.policy = self._build_policy(policy, dict(policy_kwargs or {}))
+        # -- replicated control plane (R-T8) ---------------------------------
+        # Only built when asked for: the legacy single-controller path stays
+        # byte-identical (same components, same RNG draw order) otherwise.
+        self.statestore: ControllerStateStore | None = None
+        self.control_plane: ReplicatedControlPlane | None = None
+        self.replica_policies = [self.policy]
+        if self.config.controller_replicas > 1 or self.config.controller_ha:
+            if policy != "adaptive":
+                raise ValueError(
+                    "the replicated control plane requires the adaptive policy"
+                )
+            for _ in range(self.config.controller_replicas - 1):
+                self.replica_policies.append(
+                    self._build_policy(policy, dict(policy_kwargs or {}))
+                )
+            self.statestore = ControllerStateStore(
+                self.engine,
+                snapshot_interval=self.config.snapshot_interval,
+                fsync_latency=self.config.fsync_latency,
+                log=self.fault_log,
+            )
+            self.control_plane = ReplicatedControlPlane(
+                self.engine,
+                self.api,
+                self.replica_policies,
+                lease_ttl=self.config.lease_ttl,
+                store=self.statestore,
+                rng=self.rng.stream("ha/election"),
+                fault_log=self.fault_log,
+            )
         self.apps: dict[str, Application] = {}
         self.quotas = QuotaManager()
         self.cluster.quotas = self.quotas
@@ -179,9 +216,10 @@ class EvolvePlatform:
         """Arm random faults for the rest of the run.
 
         ``domains`` selects the fault classes the monkey draws from:
-        names ``"crash"`` / ``"degrade"`` or pre-built
-        :class:`~repro.cluster.chaos.FaultDomain` objects. Defaults to
-        crash-only (the legacy behaviour).
+        names ``"crash"`` / ``"degrade"`` — plus ``"controller-crash"`` /
+        ``"partition"`` when the replicated control plane is enabled — or
+        pre-built :class:`~repro.cluster.chaos.FaultDomain` objects.
+        Defaults to crash-only (the legacy behaviour).
         """
         if self.chaos is not None:
             raise RuntimeError("chaos already enabled")
@@ -198,10 +236,30 @@ class EvolvePlatform:
                             self.degrader, rng, factor=degrade_factor
                         )
                     )
+                elif dom in ("controller-crash", "partition"):
+                    if self.control_plane is None:
+                        raise ValueError(
+                            f"fault domain {dom!r} needs the replicated "
+                            "control plane (set controller_replicas > 1 or "
+                            "controller_ha in PlatformConfig)"
+                        )
+                    if dom == "controller-crash":
+                        built.append(
+                            ControllerCrashDomain(
+                                self.control_plane, rng, log=self.fault_log
+                            )
+                        )
+                    else:
+                        built.append(
+                            PartitionDomain(
+                                self.control_plane, self.partition_faults, rng
+                            )
+                        )
                 elif isinstance(dom, str):
                     raise ValueError(
-                        f"unknown fault domain {dom!r}; "
-                        "choose 'crash', 'degrade', or pass a FaultDomain"
+                        f"unknown fault domain {dom!r}; choose 'crash', "
+                        "'degrade', 'controller-crash', 'partition', or pass "
+                        "a FaultDomain"
                     )
                 else:
                     built.append(dom)
@@ -266,6 +324,7 @@ class EvolvePlatform:
             )
         if name == "adaptive":
             kwargs.setdefault("rng", self.rng.stream("control/jitter"))
+            kwargs.setdefault("fault_log", self.fault_log)
             return AdaptiveAutoscaler(
                 self.engine,
                 self.collector,
@@ -412,7 +471,11 @@ class EvolvePlatform:
                 raise ValueError(
                     f"application {app.name!r}: the adaptive policy needs a PLO"
                 )
-            self.policy.attach(app)
+            # Every control-plane replica needs its own controller for the
+            # app: standbys must be ready to decide the moment they win
+            # the lease (their controller state comes from the statestore).
+            for replica in self.replica_policies:
+                replica.attach(app)
         if start_delay > 0:
             self.engine.schedule(start_delay, app.start)
         else:
@@ -427,7 +490,10 @@ class EvolvePlatform:
         self._started = True
         self.collector.start()
         self.scheduler.start()
-        self.policy.start()
+        if self.control_plane is not None:
+            self.control_plane.start()
+        else:
+            self.policy.start()
         if self.config.plo_warmup > 0:
             self.engine.schedule(self.config.plo_warmup, self.monitor.start)
         else:
@@ -455,8 +521,14 @@ class EvolvePlatform:
             if isinstance(app, HPCJob):
                 waits[name] = app.wait_time()
         if isinstance(self.policy, AdaptiveAutoscaler) and self.policy.escape:
-            scale_events["scale_outs"] = self.policy.escape.scale_outs
-            scale_events["scale_ins"] = self.policy.escape.scale_ins
+            # Sum across control-plane replicas: each one has its own
+            # escape policy and only ever counts while it held the lease.
+            scale_events["scale_outs"] = sum(
+                p.escape.scale_outs for p in self.replica_policies
+            )
+            scale_events["scale_ins"] = sum(
+                p.escape.scale_ins for p in self.replica_policies
+            )
         return ExperimentResult(
             duration=end,
             trackers=dict(self.monitor.trackers),

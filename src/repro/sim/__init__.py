@@ -7,7 +7,13 @@ cancellable and periodic events, and seeded random-number streams
 repository is deterministic given its seed.
 """
 
-from repro.sim.engine import Engine, EventHandle, PeriodicHandle, SimulationError
+from repro.sim.engine import (
+    Engine,
+    EventHandle,
+    PeriodicHandle,
+    SimulationError,
+    Watchdog,
+)
 from repro.sim.rng import RngRegistry
 
 __all__ = [
@@ -16,4 +22,5 @@ __all__ = [
     "PeriodicHandle",
     "RngRegistry",
     "SimulationError",
+    "Watchdog",
 ]

@@ -71,6 +71,60 @@ class PeriodicHandle:
             self._current.cancel()
 
 
+class Watchdog:
+    """A feedable deadline timer: fires unless fed before the timeout.
+
+    The lease-timer primitive of the replicated control plane: a leader
+    arms a watchdog with its lease TTL and feeds it on every successful
+    renewal; if renewals stop (crash, partition), the watchdog fires at
+    exactly the moment the lease becomes stealable and the callback can
+    self-fence *before* a rival leader can acquire it. Also usable for
+    any "expected heartbeat" pattern.
+
+    The callback fires at most once per arm; :meth:`feed` re-arms it.
+    """
+
+    __slots__ = ("timeout", "callback", "_engine", "_handle", "expirations")
+
+    def __init__(self, engine: "Engine", timeout: float, callback: Callable[[], None]):
+        if timeout <= 0:
+            raise SimulationError(f"watchdog timeout must be positive, got {timeout!r}")
+        self.timeout = timeout
+        self.callback = callback
+        self._engine = engine
+        self._handle: EventHandle | None = None
+        self.expirations = 0
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and self._handle.pending
+
+    def start(self) -> None:
+        """Arm the watchdog (equivalent to an initial feed)."""
+        self.feed()
+
+    def feed(self) -> None:
+        """Push the deadline out to ``now + timeout``."""
+        if self._handle is not None:
+            self._handle.cancel()
+        # Priority -1: at an exact deadline tie, the expiry (and its
+        # self-fencing side effects) runs before same-tick consumers.
+        self._handle = self._engine.schedule(
+            self.timeout, self._expire, priority=-1
+        )
+
+    def cancel(self) -> None:
+        """Disarm without firing."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _expire(self) -> None:
+        self._handle = None
+        self.expirations += 1
+        self.callback()
+
+
 class Engine:
     """Discrete-event engine with deterministic execution order.
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.cluster import Cluster, ClusterError
+from repro.cluster.cluster import Cluster, ClusterError, NodeNotFound, PodNotFound
 from repro.cluster.events import (
     PodEvicted,
     PodFinished,
@@ -61,11 +61,28 @@ def test_bind_non_pending_rejected(engine, cluster):
 
 
 def test_bind_unknown_pod_or_node(engine, cluster):
-    with pytest.raises(ClusterError):
+    with pytest.raises(PodNotFound):
         cluster.bind("ghost", "node-0")
     cluster.submit(make_spec("p0"))
-    with pytest.raises(ClusterError):
+    with pytest.raises(NodeNotFound):
         cluster.bind("p0", "ghost")
+
+
+def test_unknown_lookups_raise_typed_errors(engine, cluster):
+    with pytest.raises(PodNotFound, match="ghost-pod"):
+        cluster.get_pod("ghost-pod")
+    with pytest.raises(NodeNotFound, match="ghost-node"):
+        cluster.get_node("ghost-node")
+    # Both are ClusterError (new callers) *and* KeyError (legacy callers),
+    # and stringify like a normal error, not KeyError's repr form.
+    for exc_type, trigger in (
+        (PodNotFound, lambda: cluster.get_pod("x")),
+        (NodeNotFound, lambda: cluster.get_node("x")),
+    ):
+        with pytest.raises((ClusterError, KeyError)) as info:
+            trigger()
+        assert isinstance(info.value, exc_type)
+        assert str(info.value) == f"unknown {'pod' if exc_type is PodNotFound else 'node'} 'x'"
 
 
 def test_finish_releases_resources(engine, cluster):

@@ -5,6 +5,7 @@ import numpy as np
 import pytest
 
 from repro.cluster.api import ActuationError
+from repro.cluster.chaos import FaultLog
 from repro.cluster.resources import ResourceVector
 from repro.control.manager import ControlLoopManager, ResilienceConfig
 from repro.control.multiresource import (
@@ -151,6 +152,61 @@ class TestSafeMode:
         assert res["safe_mode_entries"] == 0
         assert manager._entries["svc"].skipped > 0
 
+    def test_oscillation_below_boundary_never_enters_safe_mode(
+        self, engine, api, collector
+    ):
+        """Staleness that keeps resolving one period short of
+        ``safe_mode_after`` must never trip safe mode: the counter resets
+        on every fresh signal instead of accumulating across gaps."""
+        svc = deploy(engine, api, collector)
+        collector.stop()  # signal freshness is driven by hand below
+        manager = ControlLoopManager(
+            engine, collector, interval=10.0,
+            resilience=ResilienceConfig(safe_mode_after=3),
+        )
+        manager.register(svc, controller())
+        manager.start()
+        # One latency sample every 40 s; with the PLO's 20 s window the
+        # periods at +10/+20 see a fresh signal and +30/+40 are stale —
+        # exactly safe_mode_after − 1 consecutive stale periods per cycle.
+        for k in range(10):
+            engine.schedule_at(
+                40.0 * k + 9.0,
+                lambda: collector.record("app/svc/latency", 0.04),
+            )
+        engine.run_until(400.0)
+        res = manager.entry_resilience("svc")
+        assert res["safe_mode_entries"] == 0
+        assert not res["safe_mode"]
+
+    def test_oscillation_at_boundary_enters_once_per_gap_without_thrash(
+        self, engine, api, collector
+    ):
+        """Exactly ``safe_mode_after`` stale periods per cycle: each gap
+        produces one clean entry/exit pair, never multiple entries (no
+        thrashing while the signal stays dark)."""
+        svc = deploy(engine, api, collector)
+        collector.stop()
+        manager = ControlLoopManager(
+            engine, collector, interval=10.0,
+            resilience=ResilienceConfig(safe_mode_after=3),
+        )
+        manager.register(svc, controller())
+        manager.start()
+        # One sample every 50 s: fresh at +10/+20, stale at +30/+40/+50 —
+        # safe mode entered on the third stale period, exited at +60.
+        cycles = 8
+        for k in range(cycles + 1):
+            engine.schedule_at(
+                50.0 * k + 9.0,
+                lambda: collector.record("app/svc/latency", 0.04),
+            )
+        engine.run_until(50.0 * cycles + 25.0)
+        res = manager.entry_resilience("svc")
+        assert res["safe_mode_entries"] == cycles
+        assert res["safe_mode_exits"] == cycles
+        assert not res["safe_mode"]
+
     def test_safe_mode_series_recorded(self, engine, api, collector):
         svc = deploy(engine, api, collector)
         manager = ControlLoopManager(
@@ -242,6 +298,35 @@ class TestRetries:
         assert successes == [1]
         assert entry.consecutive_failures == 0
         assert entry.retry_handle is None
+
+    def test_retries_recorded_as_fault_log_episodes(
+        self, engine, api, collector
+    ):
+        svc = deploy(engine, api, collector)
+        log = FaultLog()
+        manager = ControlLoopManager(
+            engine, collector, interval=10.0,
+            resilience=ResilienceConfig(
+                retry_jitter=0.0, retry_base_delay=2.0, max_retries=3,
+                breaker_failure_threshold=100,
+            ),
+            fault_log=log,
+        )
+        manager.register(svc, controller())
+        entry = manager._entries["svc"]
+        manager._actuate(entry, failing_action)
+        engine.run_until(100.0)
+        episodes = log.by_kind("actuation-retry")
+        # One structured episode per retry window, covering the backoff.
+        assert len(episodes) == 3
+        assert all(e.target == "svc" for e in episodes)
+        assert [e.detail for e in episodes] == [
+            "attempt=1", "attempt=2", "attempt=3",
+        ]
+        assert [e.duration() for e in episodes] == pytest.approx(
+            [2.0, 4.0, 8.0]
+        )
+        assert not log.active()  # recorded closed: MTTR joins stay simple
 
     def test_superseded_retry_is_dropped(self, engine, api, collector):
         svc = deploy(engine, api, collector)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Engine, SimulationError
+from repro.sim.engine import Engine, SimulationError, Watchdog
 
 
 class TestScheduling:
@@ -196,3 +196,67 @@ class TestPeriodic:
             engine.schedule(float(i + 1), lambda: None)
         engine.run()
         assert engine.events_executed == 5
+
+
+class TestWatchdog:
+    def test_fires_at_timeout_without_feed(self):
+        engine = Engine()
+        fired = []
+        dog = Watchdog(engine, 10.0, lambda: fired.append(engine.now))
+        dog.start()
+        engine.run_until(9.9)
+        assert fired == []
+        engine.run_until(10.0)
+        assert fired == [10.0]
+        assert dog.expirations == 1
+        assert not dog.armed
+
+    def test_feed_pushes_deadline_out(self):
+        engine = Engine()
+        fired = []
+        dog = Watchdog(engine, 10.0, lambda: fired.append(engine.now))
+        dog.start()
+        engine.run_until(6.0)
+        dog.feed()
+        engine.run_until(15.0)
+        assert fired == []
+        engine.run_until(16.0)
+        assert fired == [16.0]
+
+    def test_cancel_disarms_without_firing(self):
+        engine = Engine()
+        fired = []
+        dog = Watchdog(engine, 5.0, lambda: fired.append(1))
+        dog.start()
+        dog.cancel()
+        engine.run_until(20.0)
+        assert fired == []
+        assert dog.expirations == 0
+
+    def test_fires_at_most_once_per_arm(self):
+        engine = Engine()
+        fired = []
+        dog = Watchdog(engine, 5.0, lambda: fired.append(engine.now))
+        dog.start()
+        engine.run_until(30.0)
+        assert fired == [5.0]
+        dog.feed()  # re-arming after expiry works
+        engine.run_until(40.0)
+        assert fired == [5.0, 35.0]
+        assert dog.expirations == 2
+
+    def test_expiry_beats_same_tick_default_priority_events(self):
+        # The self-fencing property: at an exact deadline tie, the
+        # watchdog (priority -1) runs before a rival's default-priority
+        # event — a fenced leader stops before a lease stealer acts.
+        engine = Engine()
+        order = []
+        dog = Watchdog(engine, 10.0, lambda: order.append("fence"))
+        dog.start()
+        engine.schedule(10.0, lambda: order.append("steal"))
+        engine.run_until(10.0)
+        assert order == ["fence", "steal"]
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Watchdog(Engine(), 0.0, lambda: None)

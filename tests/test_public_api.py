@@ -13,13 +13,17 @@ PUBLIC_SURFACE = {
     "repro": ["EvolvePlatform", "ResourceVector", "ClusterSpec",
               "PlatformConfig", "ExperimentResult", "RESOURCES",
               "__version__"],
-    "repro.sim": ["Engine", "RngRegistry", "SimulationError"],
+    "repro.sim": ["Engine", "RngRegistry", "SimulationError", "Watchdog"],
     "repro.cluster": ["Cluster", "ClusterAPI", "Node", "Pod", "PodSpec",
                       "PodPhase", "WorkloadClass", "ResourceVector",
                       "FailureInjector", "ChaosMonkey", "QuotaManager",
                       "DegradationInjector", "ActuationFaultInjector",
                       "ActuationError", "FaultLog", "FaultEpisode",
-                      "NodeCrashDomain", "NodeDegradationDomain"],
+                      "NodeCrashDomain", "NodeDegradationDomain",
+                      "PartitionError", "Lease", "ScopedClusterAPI",
+                      "PodNotFound", "NodeNotFound", "PartitionInjector",
+                      "ControllerCrashDomain", "PartitionDomain",
+                      "LeaderElected", "LeaderDeposed"],
     "repro.metrics": ["TimeSeries", "MetricsCollector", "MetricsSource",
                       "MetricsFaultInjector"],
     "repro.workloads": ["Application", "Microservice", "ServiceDemands",
@@ -34,7 +38,9 @@ PUBLIC_SURFACE = {
                       "BottleneckEstimator", "MultiResourceController",
                       "AllocationBounds", "ControlDecision",
                       "ControlLoopManager", "ResilienceConfig",
-                      "FeedforwardScaler"],
+                      "FeedforwardScaler", "ControllerStateStore",
+                      "ReplicatedControlPlane", "FailoverEvent",
+                      "StateSnapshot", "WalRecord"],
     "repro.autoscaler": ["StaticPolicy", "HorizontalPodAutoscaler",
                          "VerticalPodAutoscaler", "AdaptiveAutoscaler",
                          "HorizontalEscapePolicy"],
@@ -50,7 +56,8 @@ PUBLIC_SURFACE = {
                        "PriceSheet", "app_cost", "PowerModel",
                        "cluster_energy", "EpisodeRecovery", "RecoveryStats",
                        "fault_recovery_report", "reconvergence_time",
-                       "summarize"],
+                       "summarize", "FailoverStats", "failover_stats",
+                       "series_divergence"],
 }
 
 
