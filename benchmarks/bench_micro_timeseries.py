@@ -1,0 +1,151 @@
+"""Micro-benchmark: TimeSeries point/window queries vs the old O(n) path.
+
+``TimeSeries`` used to store samples in ``collections.deque`` objects
+and materialize ``list(self._times)`` on *every* ``value_at``/``window``
+call — an O(n) copy of the whole retention buffer per query, sitting in
+every controller tick and every export row. The rewrite keeps plain
+lists with a start offset, so queries bisect in place: O(log n) for
+point lookups, O(log n + window) for ranges.
+
+``ReferenceSeries`` below reproduces the old copy-per-query behaviour
+so the win is measured, not asserted from memory. On the benchmark size
+(100k retained samples, deep history lookups) the bisect path must be
+at least 20× faster per query — in practice it is hundreds of times
+faster, and the gap grows linearly with retention.
+
+``python -m benchmarks.bench_micro_timeseries`` runs it standalone
+(``--smoke`` for the CI-sized variant).
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import time
+from collections import deque
+
+from repro.analysis.report import format_table
+from repro.metrics.timeseries import TimeSeries
+
+SAMPLES = 100_000
+QUERIES = 2_000
+
+
+class ReferenceSeries:
+    """The pre-rewrite implementation: deques copied on every query."""
+
+    def __init__(self, *, maxlen: int = 100_000):
+        self._times: deque[float] = deque(maxlen=maxlen)
+        self._values: deque[float] = deque(maxlen=maxlen)
+
+    def append(self, time: float, value: float) -> None:
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def value_at(self, time: float) -> float | None:
+        times = list(self._times)  # the O(n) copy under test
+        idx = bisect.bisect_right(times, time) - 1
+        if idx < 0:
+            return None
+        return list(self._values)[idx]
+
+    def window(self, start: float, end: float) -> list[tuple[float, float]]:
+        return [
+            (t, v)
+            for t, v in zip(self._times, self._values)
+            if start < t <= end
+        ]
+
+
+def _fill(series, n: int) -> None:
+    for i in range(n):
+        series.append(float(i), float(i % 97))
+
+
+def _time_queries(series, n: int, queries: int) -> dict[str, float]:
+    """Wall seconds for ``queries`` point and window lookups."""
+    stride = max(1, n // queries)
+    t0 = time.perf_counter()
+    for i in range(0, n, stride):
+        series.value_at(float(i) + 0.5)
+    point = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for i in range(0, n, stride):
+        series.window(float(i) - 30.0, float(i))
+    window = time.perf_counter() - t0
+    return {"value_at": point, "window": window}
+
+
+def run_case(*, samples: int = SAMPLES, queries: int = QUERIES) -> dict:
+    fast = TimeSeries(maxlen=samples)
+    slow = ReferenceSeries(maxlen=samples)
+    _fill(fast, samples)
+    _fill(slow, samples)
+    # Same query set on both; identical answers are part of the check.
+    probe = samples // 2 + 0.5
+    assert fast.value_at(probe) == slow.value_at(probe)
+    assert fast.window(100.0, 130.0) == slow.window(100.0, 130.0)
+    return {
+        "samples": samples,
+        "queries": min(queries, samples),
+        "fast": _time_queries(fast, samples, queries),
+        "slow": _time_queries(slow, samples, queries),
+    }
+
+
+def check_case(case: dict) -> None:
+    for op in ("value_at", "window"):
+        speedup = case["slow"][op] / max(case["fast"][op], 1e-9)
+        assert speedup >= 20.0, (
+            f"{op}: bisect path only {speedup:.1f}x faster than the "
+            f"copy-per-query reference (expected ≥20x)"
+        )
+
+
+def format_case(case: dict) -> list[str]:
+    rows = []
+    for op in ("value_at", "window"):
+        fast, slow = case["fast"][op], case["slow"][op]
+        rows.append([
+            op,
+            f"{slow / case['queries'] * 1e6:.1f}",
+            f"{fast / case['queries'] * 1e6:.1f}",
+            f"{slow / max(fast, 1e-9):.0f}x",
+        ])
+    return [
+        f"TimeSeries micro-benchmark "
+        f"({case['samples']:,} retained samples, "
+        f"{case['queries']:,} queries/op)",
+        format_table(
+            ["query", "copy-per-query µs", "bisect µs", "speedup"], rows
+        ),
+    ]
+
+
+def test_timeseries_query_speedup(report) -> None:
+    case = run_case()
+    report("", *format_case(case))
+    check_case(case)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized variant: smaller series, same assertions",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        case = run_case(samples=20_000, queries=500)
+    else:
+        case = run_case()
+    for line in format_case(case):
+        print(line)
+    check_case(case)
+    print("TS OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,142 @@
+"""R-T9 — End-to-end reaction latency from the causal trace.
+
+Runs the step-load scenario with telemetry enabled and measures, from
+the decision trace itself, how fast the control plane turns a signal
+into an allocation change:
+
+* **Per-actuation reaction latency** — scrape→actuation lag of every
+  applied change, reported as p50/p95/p99 twice: from the trace-derived
+  distribution and from the ``ctrl/reaction_latency`` histogram the
+  controller exports about itself (the two instruments must agree on a
+  healthy pipeline: both near zero).
+* **End-to-end step reaction** — seconds from the load-step timestamp
+  to the first applied grow actuation, the headline number: the whole
+  pipeline (scrape cadence → PLO window → PID transient → actuation
+  delay) in one figure.
+
+Every applied actuation must be causally chained to the scrape that
+triggered it (actuate → decide → scrape) — the trace is only a valid
+measurement instrument if the chain is complete.
+
+``python -m benchmarks.bench_t9_reaction_latency`` runs it standalone
+(``--smoke`` for the CI-sized variant).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.report import format_table
+from repro.analysis.traces import (
+    actuations,
+    end_to_end_reaction,
+    latency_quantiles,
+    reaction_latencies,
+    triggering_scrape,
+)
+from benchmarks.scenarios import HOUR, build_platform, step_load_service
+
+STEP_AT = HOUR / 2
+DURATION = 1.5 * HOUR
+
+
+def run_case(*, duration: float = DURATION, step_at: float = STEP_AT) -> dict:
+    platform = build_platform("adaptive", seed=11, telemetry=True)
+    app = step_load_service(platform, factor=3.0, step_at=step_at)
+    platform.run(duration)
+
+    trace = platform.telemetry.trace
+    applied = actuations(trace, app)
+    chained = [
+        span for span in applied
+        if triggering_scrape(trace, span) is not None
+    ]
+    latencies = reaction_latencies(trace, app)
+    hist = platform.telemetry.reaction_latency
+    return {
+        "app": app,
+        "step_at": step_at,
+        "platform": platform,
+        "trace": trace,
+        "applied": len(applied),
+        "chained": len(chained),
+        "latencies": latencies,
+        "trace_quantiles": latency_quantiles(latencies),
+        "hist_quantiles": {
+            f"p{q}": hist.quantile(q) for q in (50, 95, 99)
+        },
+        "step_reaction": end_to_end_reaction(
+            trace, step_at, app, action="grow"
+        ),
+        "provenance": len(trace.provenance),
+        "violations": platform.result().violation_fraction(app),
+    }
+
+
+def check_case(case: dict) -> None:
+    assert case["applied"] >= 1, "the step never produced an actuation"
+    assert case["chained"] == case["applied"], (
+        f"{case['applied'] - case['chained']} actuations lost their "
+        "causal chain to a scrape"
+    )
+    assert case["provenance"] >= 1
+    # The per-actuation lag is bounded by the scrape/control cadence.
+    assert case["trace_quantiles"]["p99"] <= 30.0, (
+        f"p99 reaction latency {case['trace_quantiles']['p99']:.1f}s "
+        "exceeds 3 control periods"
+    )
+    # The step must be answered within a handful of control periods:
+    # PLO window (30 s) + a couple of 10 s decisions, plus margin.
+    reaction = case["step_reaction"]
+    assert reaction is not None, "no grow actuation after the load step"
+    assert reaction <= 120.0, f"step reaction took {reaction:.0f}s"
+
+
+def format_case(case: dict) -> list[str]:
+    tq, hq = case["trace_quantiles"], case["hist_quantiles"]
+    rows = [
+        ["trace-derived", f"{tq['p50']:.2f}", f"{tq['p95']:.2f}",
+         f"{tq['p99']:.2f}"],
+        ["ctrl/reaction_latency", f"{hq['p50']:.2f}", f"{hq['p95']:.2f}",
+         f"{hq['p99']:.2f}"],
+    ]
+    return [
+        "T9 reaction latency "
+        f"(step ×3 @{case['step_at']:.0f}s, app={case['app']})",
+        format_table(["scrape→actuation (s)", "p50", "p95", "p99"], rows),
+        f"  applied actuations={case['applied']} "
+        f"(all {case['chained']} chained actuate→decide→scrape), "
+        f"provenance records={case['provenance']}",
+        f"  end-to-end step reaction: {case['step_reaction']:.1f} s "
+        f"(load step → first applied grow)",
+        f"  PLO violations: {case['violations']:.1%}",
+    ]
+
+
+def test_t9_reaction_latency(report) -> None:
+    case = run_case()
+    report("", *format_case(case))
+    check_case(case)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized variant: shorter run, same assertions",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        case = run_case(duration=0.75 * HOUR, step_at=HOUR / 4)
+    else:
+        case = run_case()
+    for line in format_case(case):
+        print(line)
+    check_case(case)
+    print("T9 OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,217 @@
+"""Telemetry overhead gate: enabled ≤5%, disabled ≈0%, bit-identical.
+
+Three claims keep ``PlatformConfig(telemetry=True)`` honest:
+
+1. **Enabled overhead ≤5%** — the diurnal multi-service scenario runs
+   with telemetry off and on under ``cProfile`` and the gate compares
+   *total interpreter function calls*. Call counts are a deterministic
+   proxy for CPU work: the same seed yields the same count on every
+   machine, so the gate cannot flake on a noisy CI runner the way a
+   wall-clock ratio does (and the proxy over-counts telemetry, whose
+   extra calls are mostly trivial increments — the bound is
+   conservative). Wall time for both configurations is reported
+   alongside for context.
+2. **Disabled overhead ≤1%** — with telemetry off the only residual
+   cost is ``if self.telemetry is not None`` guards on the hot paths.
+   The guard cost is measured directly and scaled by the number of
+   engine events in the run; it must stay under 1% of the disabled
+   wall time (in practice it is orders of magnitude under).
+3. **Bit-identity** — a seeded run produces *identical* sample streams
+   and event counts with telemetry on or off. Tracing must observe the
+   simulation, never perturb it: no extra RNG draws, no extra events.
+
+``python -m benchmarks.bench_telemetry_overhead`` runs it standalone
+(``--smoke`` for the CI-sized variant).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import time
+
+from repro.analysis.report import format_table
+from repro.cluster.resources import ResourceVector
+from repro.workloads.microservice import ServiceDemands
+from repro.workloads.plo import LatencyPLO
+from repro.workloads.traces import DiurnalTrace
+from benchmarks.scenarios import HOUR, build_platform
+
+APPS = 8
+DURATION = HOUR
+
+ENABLED_BUDGET = 0.05
+DISABLED_BUDGET = 0.01
+
+
+def _build(*, telemetry: bool, apps: int, seed: int = 3):
+    platform = build_platform(
+        "adaptive", nodes=max(4, apps // 2), seed=seed, telemetry=telemetry
+    )
+    for i in range(apps):
+        platform.deploy_microservice(
+            f"svc-{i}",
+            trace=DiurnalTrace(base=60, amplitude=40, period=HOUR,
+                               phase=i * 120.0),
+            demands=ServiceDemands(cpu_seconds=0.008, disk_mb=0.1,
+                                   net_mb=0.05, base_latency=0.01),
+            allocation=ResourceVector(cpu=0.6, memory=1, disk_bw=15,
+                                      net_bw=15),
+            plo=LatencyPLO(0.06, window=30),
+        )
+    return platform
+
+
+def _profiled_run(*, telemetry: bool, apps: int, duration: float):
+    """(total function calls, platform) for one seeded run."""
+    platform = _build(telemetry=telemetry, apps=apps)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    platform.run(duration)
+    profiler.disable()
+    return pstats.Stats(profiler).total_calls, platform
+
+
+def _timed_run(*, telemetry: bool, apps: int, duration: float) -> float:
+    platform = _build(telemetry=telemetry, apps=apps)
+    t0 = time.perf_counter()
+    platform.run(duration)
+    return time.perf_counter() - t0
+
+
+def _guard_cost_per_check() -> float:
+    """Seconds per ``x is not None`` guard, measured in a tight loop."""
+
+    class _Host:
+        __slots__ = ("telemetry",)
+
+        def __init__(self):
+            self.telemetry = None
+
+    host, n = _Host(), 1_000_000
+    t0 = time.perf_counter()
+    hits = 0
+    for _ in range(n):
+        if host.telemetry is not None:  # the disabled-path residual
+            hits += 1
+    assert hits == 0
+    return (time.perf_counter() - t0) / n
+
+
+def _series_fingerprint(platform, apps: int):
+    """The seeded sample streams whose bit-identity we assert."""
+    out = {}
+    collector = platform.collector
+    for i in range(apps):
+        for metric in (f"app/svc-{i}/latency", f"app/svc-{i}/alloc/cpu",
+                       f"control/svc-{i}/output"):
+            out[metric] = (
+                collector.series(metric).to_lists()
+                if collector.has_series(metric) else None
+            )
+    return out
+
+
+def run_case(*, apps: int = APPS, duration: float = DURATION) -> dict:
+    calls_off, off_platform = _profiled_run(
+        telemetry=False, apps=apps, duration=duration)
+    calls_on, on_platform = _profiled_run(
+        telemetry=True, apps=apps, duration=duration)
+    wall_off = _timed_run(telemetry=False, apps=apps, duration=duration)
+    wall_on = _timed_run(telemetry=True, apps=apps, duration=duration)
+
+    identical = (
+        _series_fingerprint(off_platform, apps)
+        == _series_fingerprint(on_platform, apps)
+        and off_platform.engine.events_executed
+        == on_platform.engine.events_executed
+    )
+    # Disabled residual: one guard per instrumentation site, bounded by
+    # a handful of checks per engine event.
+    guard = _guard_cost_per_check()
+    guards_per_event = 8
+    disabled_overhead = (
+        guard * guards_per_event * off_platform.engine.events_executed
+        / wall_off
+    )
+    return {
+        "apps": apps,
+        "calls_off": calls_off,
+        "calls_on": calls_on,
+        "enabled_overhead": calls_on / calls_off - 1.0,
+        "wall_off": wall_off,
+        "wall_on": wall_on,
+        "disabled_overhead": disabled_overhead,
+        "identical": identical,
+        "events": off_platform.engine.events_executed,
+        "spans": len(on_platform.telemetry.trace),
+        "provenance": len(on_platform.telemetry.trace.provenance),
+    }
+
+
+def check_case(case: dict) -> None:
+    assert case["identical"], (
+        "telemetry perturbed the seeded run: sample streams or event "
+        "counts differ with tracing on"
+    )
+    assert case["enabled_overhead"] <= ENABLED_BUDGET, (
+        f"telemetry-enabled run costs {case['enabled_overhead']:+.2%} "
+        f"function calls vs disabled (budget {ENABLED_BUDGET:.0%})"
+    )
+    assert case["disabled_overhead"] <= DISABLED_BUDGET, (
+        f"disabled guard residual {case['disabled_overhead']:.3%} "
+        f"(budget {DISABLED_BUDGET:.0%})"
+    )
+    assert case["spans"] >= 1 and case["provenance"] >= 1
+
+
+def format_case(case: dict) -> list[str]:
+    rows = [
+        ["telemetry off", f"{case['calls_off']:,}", f"{case['wall_off']:.3f}",
+         "—"],
+        ["telemetry on", f"{case['calls_on']:,}", f"{case['wall_on']:.3f}",
+         f"{case['enabled_overhead']:+.2%}"],
+    ]
+    return [
+        f"Telemetry overhead ({case['apps']} services, "
+        f"{case['events']:,} engine events)",
+        format_table(
+            ["configuration", "function calls", "wall s",
+             "call overhead"], rows
+        ),
+        f"  disabled guard residual: {case['disabled_overhead']:.4%} "
+        "of runtime",
+        f"  seeded streams bit-identical on/off: {case['identical']}",
+        f"  enabled run recorded {case['spans']:,} spans, "
+        f"{case['provenance']:,} provenance records",
+    ]
+
+
+def test_telemetry_overhead(report) -> None:
+    case = run_case()
+    report("", *format_case(case))
+    check_case(case)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized variant: fewer services, shorter run, same gates",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        case = run_case(apps=4, duration=HOUR / 2)
+    else:
+        case = run_case()
+    for line in format_case(case):
+        print(line)
+    check_case(case)
+    print("OVERHEAD OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,10 +33,11 @@ def build_platform(
     scheduler: str = "converged",
     policy_kwargs: dict | None = None,
     scheduler_kwargs: dict | None = None,
+    telemetry: bool = False,
 ) -> EvolvePlatform:
     return EvolvePlatform(
         cluster_spec=ClusterSpec(node_count=nodes),
-        config=PlatformConfig(seed=seed),
+        config=PlatformConfig(seed=seed, telemetry=telemetry),
         scheduler=scheduler,
         policy=policy,
         policy_kwargs=policy_kwargs,

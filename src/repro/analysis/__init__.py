@@ -21,6 +21,14 @@ from repro.analysis.recovery import (
     series_divergence,
     summarize,
 )
+from repro.analysis.traces import (
+    actuations,
+    critical_path,
+    end_to_end_reaction,
+    latency_quantiles,
+    reaction_latencies,
+    triggering_scrape,
+)
 
 __all__ = [
     "PriceSheet",
@@ -46,4 +54,10 @@ __all__ = [
     "reconvergence_time",
     "series_divergence",
     "summarize",
+    "actuations",
+    "critical_path",
+    "end_to_end_reaction",
+    "latency_quantiles",
+    "reaction_latencies",
+    "triggering_scrape",
 ]

@@ -1,0 +1,103 @@
+"""Trace analysis: reaction latency and causal critical paths.
+
+Built on the causal links the tracer records (actuate → decide →
+scrape): every applied allocation change can be walked back to the
+scrape round that stored the sample it reacted to, which turns the
+trace into a measurement instrument for the control plane's end-to-end
+responsiveness — the R-T9 experiment.
+
+Two latency notions:
+
+* **Per-actuation reaction latency** (:func:`reaction_latencies`) —
+  scrape-to-actuation lag of each applied change. Near zero on a
+  healthy pipeline (scrape and decide share an engine tick) and growing
+  under scrape faults, retry backoff, and breaker windows.
+* **End-to-end step reaction** (:func:`end_to_end_reaction`) — from an
+  externally-known load-step timestamp to the first matching actuation,
+  the classic control-theoretic reaction time of the whole platform.
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracing import Span, Trace
+
+
+def actuations(trace: Trace, app: str | None = None, *,
+               applied_only: bool = True) -> list[Span]:
+    """Actuate spans, optionally for one app / only applied ones."""
+    spans = trace.by_name("actuate")
+    if app is not None:
+        spans = [s for s in spans if s.args.get("app") == app]
+    if applied_only:
+        spans = [s for s in spans if s.args.get("outcome") == "applied"]
+    return spans
+
+
+def triggering_scrape(trace: Trace, span: Span) -> Span | None:
+    """The scrape span an actuation (or decision) causally descends from."""
+    for ancestor in trace.parent_chain(span):
+        if ancestor.name == "scrape":
+            return ancestor
+    return None
+
+
+def critical_path(trace: Trace, span: Span) -> list[Span]:
+    """Causal chain from the triggering scrape down to ``span``.
+
+    Root-first (scrape → decide → actuate), i.e. the reversed parent
+    chain — the path a sample travelled to become an allocation change.
+    """
+    return list(reversed(trace.parent_chain(span)))
+
+
+def reaction_latencies(trace: Trace, app: str | None = None) -> list[float]:
+    """Scrape-to-actuation latency (s) of every applied actuation.
+
+    Actuations whose parent chain does not reach a scrape span (e.g.
+    re-issued WAL records after failover) are skipped.
+    """
+    out = []
+    for span in actuations(trace, app):
+        scrape = triggering_scrape(trace, span)
+        if scrape is not None:
+            out.append(span.start - scrape.start)
+    return out
+
+
+def latency_quantiles(
+    values: list[float], qs: tuple[int, ...] = (50, 95, 99)
+) -> dict[str, float]:
+    """Nearest-rank percentiles keyed ``p50``/``p95``/``p99``."""
+    if not values:
+        raise ValueError("no latencies to summarize")
+    ordered = sorted(values)
+    out = {}
+    for q in qs:
+        rank = max(0, -(-q * len(ordered) // 100) - 1)  # ceil - 1
+        out[f"p{q}"] = ordered[rank]
+    return out
+
+
+def end_to_end_reaction(
+    trace: Trace,
+    step_time: float,
+    app: str,
+    *,
+    action: str = "grow",
+) -> float | None:
+    """Seconds from a load step to the first matching applied actuation.
+
+    ``step_time`` is external knowledge (the scenario's step timestamp);
+    the first applied actuation at or after it whose parent decide span
+    took ``action`` closes the loop. None when the run never reacted.
+    """
+    candidates = sorted(actuations(trace, app), key=lambda s: s.start)
+    for span in candidates:
+        if span.start < step_time:
+            continue
+        parent = (
+            trace.get(span.parent_id) if span.parent_id is not None else None
+        )
+        if parent is not None and parent.args.get("action") == action:
+            return span.start - step_time
+    return None

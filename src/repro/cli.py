@@ -4,11 +4,14 @@ Run declarative experiments without writing Python::
 
     python -m repro run experiment.json
     python -m repro demo --policy adaptive --duration 7200
+    python -m repro trace --format chrome out.json
     python -m repro policies
 
 ``run`` executes a JSON experiment config (see
 :mod:`repro.platform.loader` for the schema) and prints the standard
 summary: per-app PLO violations, utilization, makespans, and costs.
+``trace`` runs the demo scenario with telemetry enabled and exports the
+causal run timeline (Chrome ``trace_event`` JSON or JSONL).
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import sys
 from repro.analysis.cost import PriceSheet, app_cost
 from repro.analysis.report import format_table
 from repro.cluster.resources import ResourceVector
+from repro.platform.config import PlatformConfig
 from repro.platform.evolve import POLICIES, SCHEDULERS, EvolvePlatform
 from repro.platform.loader import ConfigError, platform_from_json
 from repro.workloads.bigdata import BigDataJob
@@ -80,8 +84,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_demo(args: argparse.Namespace) -> int:
-    platform = EvolvePlatform(policy=args.policy, scheduler=args.scheduler)
+def _deploy_demo_service(platform: EvolvePlatform, policy: str) -> None:
+    """The built-in demo workload (shared by ``demo`` and ``trace``)."""
     platform.deploy_microservice(
         "demo",
         trace=DiurnalTrace(base=150, amplitude=120, period=3600),
@@ -89,10 +93,57 @@ def cmd_demo(args: argparse.Namespace) -> int:
                                base_latency=0.01),
         allocation=ResourceVector(cpu=0.5, memory=1, disk_bw=25, net_bw=25),
         plo=LatencyPLO(0.05, window=30),
-        managed=args.policy != "static",
+        managed=policy != "static",
     )
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    platform = EvolvePlatform(policy=args.policy, scheduler=args.scheduler)
+    _deploy_demo_service(platform, args.policy)
     platform.run(args.duration)
     print(summarize(platform))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.traces import latency_quantiles, reaction_latencies
+    from repro.obs.export import write_chrome_trace, write_trace_jsonl
+
+    platform = EvolvePlatform(
+        policy=args.policy,
+        scheduler=args.scheduler,
+        config=PlatformConfig(telemetry=True),
+    )
+    _deploy_demo_service(platform, args.policy)
+    platform.run(args.duration)
+    trace = platform.telemetry.trace
+    if args.format == "chrome":
+        count = write_chrome_trace(
+            trace, args.output, fault_log=platform.fault_log
+        )
+        what = "trace events"
+    else:
+        count = write_trace_jsonl(
+            trace, args.output, fault_log=platform.fault_log
+        )
+        what = "JSONL lines"
+    applied = [
+        s for s in trace.by_name("actuate")
+        if s.args.get("outcome") == "applied"
+    ]
+    print(
+        f"wrote {count} {what} to {args.output} "
+        f"({len(trace)} spans, {len(trace.provenance)} provenance records, "
+        f"{len(applied)} applied actuations)"
+    )
+    latencies = reaction_latencies(trace)
+    if latencies:
+        q = latency_quantiles(latencies)
+        print(
+            f"scrape-to-actuation reaction latency: "
+            f"p50={q['p50']:.2f}s p95={q['p95']:.2f}s p99={q['p99']:.2f}s "
+            f"over {len(latencies)} actuations"
+        )
     return 0
 
 
@@ -120,6 +171,20 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--scheduler", choices=SCHEDULERS, default="converged")
     demo.add_argument("--duration", type=float, default=7200.0)
     demo.set_defaults(func=cmd_demo)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run the demo with telemetry and export the causal timeline",
+    )
+    trace.add_argument("output", help="output file path")
+    trace.add_argument("--format", choices=("chrome", "jsonl"),
+                       default="chrome",
+                       help="chrome trace_event JSON (load in Perfetto) "
+                            "or JSONL (one span/provenance/fault per line)")
+    trace.add_argument("--policy", choices=POLICIES, default="adaptive")
+    trace.add_argument("--scheduler", choices=SCHEDULERS, default="converged")
+    trace.add_argument("--duration", type=float, default=3600.0)
+    trace.set_defaults(func=cmd_trace)
 
     policies = sub.add_parser("policies", help="list policies and schedulers")
     policies.set_defaults(func=cmd_policies)

@@ -77,6 +77,7 @@ class ClusterAPI:
         self._cluster = cluster
         self.actuation_faults = None  # optional ActuationFaultInjector
         self.partitions = None  # optional PartitionInjector
+        self.telemetry = None  # optional repro.obs Telemetry bundle
         self._leases: dict[str, Lease] = {}
 
     def _check_actuation(self, verb: str) -> None:
@@ -95,8 +96,23 @@ class ClusterAPI:
 
     def create_pod(self, spec: PodSpec) -> Pod:
         """Submit a pod for scheduling."""
-        self._check_actuation("create_pod")
-        return self._cluster.submit(spec)
+        tel = self.telemetry
+        if tel is None:
+            self._check_actuation("create_pod")
+            return self._cluster.submit(spec)
+        # Nests under an open actuate span via the tracer stack.
+        sp = tel.tracer.begin("api/create_pod", "api", app=spec.app)
+        try:
+            self._check_actuation("create_pod")
+            pod = self._cluster.submit(spec)
+            sp.args["outcome"] = "ok"
+            sp.args["pod"] = pod.name
+            return pod
+        except ActuationError:
+            sp.args["outcome"] = "actuation-error"
+            raise
+        finally:
+            tel.tracer.end(sp)
 
     def delete_pod(self, name: str, *, reason: str = "deleted") -> None:
         """Evict/terminate a pod regardless of phase."""
@@ -152,8 +168,21 @@ class ClusterAPI:
         Raises :class:`ActuationError` when an injected actuation fault
         rejects the patch (distinct from the fit-based False return).
         """
-        self._check_actuation("patch_pod_allocation")
-        return self._cluster.resize_pod(pod_name, allocation)
+        tel = self.telemetry
+        if tel is None:
+            self._check_actuation("patch_pod_allocation")
+            return self._cluster.resize_pod(pod_name, allocation)
+        sp = tel.tracer.begin("api/patch_pod_allocation", "api", pod=pod_name)
+        try:
+            self._check_actuation("patch_pod_allocation")
+            fitted = self._cluster.resize_pod(pod_name, allocation)
+            sp.args["outcome"] = "ok" if fitted else "no-fit"
+            return fitted
+        except ActuationError:
+            sp.args["outcome"] = "actuation-error"
+            raise
+        finally:
+            tel.tracer.end(sp)
 
     def can_resize(self, pod_name: str, allocation: ResourceVector) -> bool:
         return self._cluster.can_resize(pod_name, allocation)
@@ -208,6 +237,11 @@ class ClusterAPI:
         generation = 1 if current is None else current.generation + 1
         lease = Lease(name, holder, ttl, now, now, generation)
         self._leases[name] = lease
+        if self.telemetry is not None:
+            self.telemetry.tracer.instant(
+                "lease/acquired", "ha",
+                lease=name, holder=holder, generation=generation,
+            )
         if current is not None:
             self._cluster.events.publish(
                 LeaderDeposed(now, name, current.holder, "lease-expired")

@@ -62,6 +62,9 @@ class FaultEpisode:
     start: float
     end: float | None = None
     detail: str = ""
+    #: Stable index within the owning FaultLog (-1 until logged); decision
+    #: provenance references episodes by this id.
+    eid: int = -1
 
     @property
     def active(self) -> bool:
@@ -84,6 +87,7 @@ class FaultLog:
     def open(self, kind: str, target: str, start: float, *,
              detail: str = "") -> FaultEpisode:
         episode = FaultEpisode(kind, target, start, detail=detail)
+        episode.eid = len(self.episodes)
         self.episodes.append(episode)
         return episode
 
@@ -95,11 +99,19 @@ class FaultLog:
                detail: str = "") -> FaultEpisode:
         """Record an episode whose end is already known (window faults)."""
         episode = FaultEpisode(kind, target, start, end, detail)
+        episode.eid = len(self.episodes)
         self.episodes.append(episode)
         return episode
 
     def active(self) -> list[FaultEpisode]:
         return [e for e in self.episodes if e.active]
+
+    def active_at(self, now: float) -> list[FaultEpisode]:
+        """Episodes overlapping ``now`` (open episodes included)."""
+        return [
+            e for e in self.episodes
+            if e.start <= now and (e.end is None or now < e.end)
+        ]
 
     def by_kind(self, kind: str) -> list[FaultEpisode]:
         return [e for e in self.episodes if e.kind == kind]

@@ -73,6 +73,9 @@ class AdaptiveGainTuner:
         self._errors: deque[float] = deque(maxlen=window)
         self.oscillation_events = 0
         self.sluggish_events = 0
+        #: Diagnosis of the most recent update: "oscillation",
+        #: "sluggish", or None (provenance introspection).
+        self.last_event: str | None = None
 
     # -- diagnostics -------------------------------------------------------------
 
@@ -103,13 +106,16 @@ class AdaptiveGainTuner:
         if self._sign_flips() >= self.oscillation_flips:
             self.scale *= self.shrink
             self.oscillation_events += 1
+            self.last_event = "oscillation"
             self._errors.clear()  # re-observe under the new gains
         elif self._sluggish():
             self.scale *= self.grow
             self.sluggish_events += 1
+            self.last_event = "sluggish"
             self._errors.clear()
         else:
             self.scale += (1.0 - self.scale) * self.relax
+            self.last_event = None
         self.scale = max(lo, min(hi, self.scale))
         return self.scale
 

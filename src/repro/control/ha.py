@@ -140,6 +140,8 @@ class ReplicatedControlPlane:
         self.failovers: list[FailoverEvent] = []
         self.step_downs = 0
         self.fence_events = 0
+        #: Optional :class:`~repro.obs.telemetry.Telemetry` bundle.
+        self.telemetry = None
 
     # -- introspection (chaos domains use this surface) ---------------------------
 
@@ -288,6 +290,15 @@ class ReplicatedControlPlane:
         recovery = self._restore(manager)
         manager.partition_guard = replica.api.check_partition
         manager.actuation_sink = self.store.append_wal
+        # Stamp the fencing epoch so every decision this leader takes
+        # carries the lease generation in its provenance record.
+        manager.lease_generation = lease.generation
+        if self.telemetry is not None:
+            self.telemetry.elections.inc()
+            self.telemetry.tracer.instant(
+                "election", "ha",
+                leader=replica.identity, generation=lease.generation,
+            )
         replica.policy.start()
 
         self._renew_handle = self.engine.every(
@@ -325,6 +336,7 @@ class ReplicatedControlPlane:
         replica.policy.stop()
         replica.manager.partition_guard = None
         replica.manager.actuation_sink = None
+        replica.manager.lease_generation = None
         if self._renew_handle is not None:
             self._renew_handle.cancel()
             self._renew_handle = None
@@ -363,6 +375,11 @@ class ReplicatedControlPlane:
         replica = self.replicas[index]
         self.step_downs += 1
         replica.step_downs += 1
+        if self.telemetry is not None:
+            self.telemetry.step_downs.inc()
+            self.telemetry.tracer.instant(
+                "step_down", "ha", replica=replica.identity,
+            )
         self._demote(index)
         if replica.alive:
             self._start_watch(index)

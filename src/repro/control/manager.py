@@ -46,6 +46,7 @@ from repro.cluster.resources import RESOURCES, ResourceVector
 from repro.control.estimator import SaturationSnapshot
 from repro.control.multiresource import ControlDecision, MultiResourceController
 from repro.metrics.collector import MetricsCollector
+from repro.obs.tracing import DecisionProvenance
 from repro.sim.engine import Engine, EventHandle, PeriodicHandle
 from repro.workloads.base import Application
 
@@ -142,6 +143,9 @@ class _Entry:
     breaker_trips: int = 0
     breaker_skips: int = 0
     directions: deque = field(default_factory=lambda: deque(maxlen=6))
+    # Span id of the current period's decide span (telemetry only), so
+    # actuations — including delayed retries — parent to their decision.
+    decision_span_id: int | None = None
 
 
 class ControlLoopManager:
@@ -189,6 +193,11 @@ class ControlLoopManager:
         # mid-actuation still leaves a WAL record for the successor.
         self.partition_guard: Callable[[], None] | None = None
         self.actuation_sink: Callable[[str, str, object], None] | None = None
+        #: Optional :class:`~repro.obs.telemetry.Telemetry` bundle.
+        self.telemetry = None
+        #: Fencing epoch of the lease this manager acts under (set by the
+        #: HA control plane on promotion; None when not replicated).
+        self.lease_generation: int | None = None
         self._entries: dict[str, _Entry] = {}
         self._handle: PeriodicHandle | None = None
         self.loops = 0
@@ -373,6 +382,12 @@ class ControlLoopManager:
     def _enter_safe_mode(self, entry: _Entry, now: float) -> None:
         entry.safe_mode = True
         entry.safe_mode_entries += 1
+        if self.telemetry is not None:
+            self.telemetry.safe_mode_entries.inc()
+            self.telemetry.tracer.instant(
+                "safe_mode_enter", "control", app=entry.app.name,
+                stale_periods=entry.stale_periods,
+            )
         self._cancel_retry(entry)
         # Freeze at the last-known-good allocation: if a decision taken on
         # data that later proved stale moved the target, pull it back.
@@ -404,6 +419,12 @@ class ControlLoopManager:
     def _trip_breaker(self, entry: _Entry, now: float) -> None:
         entry.breaker_open_until = now + self.resilience.breaker_open_duration
         entry.breaker_trips += 1
+        if self.telemetry is not None:
+            self.telemetry.breaker_trips.inc()
+            self.telemetry.tracer.instant(
+                "breaker_trip", "control", app=entry.app.name,
+                open_until=entry.breaker_open_until,
+            )
         entry.directions.clear()
         entry.consecutive_failures = 0
         self._cancel_retry(entry)
@@ -432,6 +453,7 @@ class ControlLoopManager:
         action: Callable[[], None],
         *,
         on_success: Callable[[], None] | None = None,
+        kind: str = "actuation",
     ) -> bool:
         """Run one actuation, absorbing injected transient failures.
 
@@ -439,18 +461,36 @@ class ControlLoopManager:
         and jitter (up to ``max_retries``); repeated failures trip the
         circuit breaker instead of retrying forever.
         """
+        tel = self.telemetry
+        sp = None
+        if tel is not None:
+            # Parent to the decide span that ordered this actuation — an
+            # explicit link, so delayed retries stay causally attached.
+            sp = tel.tracer.begin(
+                "actuate", "actuation", parent=entry.decision_span_id,
+                app=entry.app.name, kind=kind,
+            )
         try:
-            if self.partition_guard is not None:
-                self.partition_guard()
-            action()
-        except ActuationError:
-            self._on_actuation_failure(entry, action, on_success)
-            return False
-        entry.consecutive_failures = 0
-        self._cancel_retry(entry)
-        if on_success is not None:
-            on_success()
-        return True
+            try:
+                if self.partition_guard is not None:
+                    self.partition_guard()
+                action()
+            except ActuationError:
+                if sp is not None:
+                    sp.args["outcome"] = "failed"
+                self._on_actuation_failure(entry, action, on_success)
+                return False
+            entry.consecutive_failures = 0
+            self._cancel_retry(entry)
+            if sp is not None:
+                sp.args["outcome"] = "applied"
+                tel.actuations.inc()
+            if on_success is not None:
+                on_success()
+            return True
+        finally:
+            if sp is not None:
+                tel.tracer.end(sp)
 
     def _on_actuation_failure(
         self,
@@ -461,6 +501,8 @@ class ControlLoopManager:
         cfg = self.resilience
         entry.actuation_failures += 1
         entry.consecutive_failures += 1
+        if self.telemetry is not None:
+            self.telemetry.actuation_failures.inc()
         if entry.consecutive_failures >= cfg.breaker_failure_threshold:
             self._trip_breaker(entry, self.engine.now)
             return
@@ -476,6 +518,8 @@ class ControlLoopManager:
             delay *= 1.0 + cfg.retry_jitter * (2.0 * float(self.rng.random()) - 1.0)
         entry.retry_attempts += 1
         entry.retries += 1
+        if self.telemetry is not None:
+            self.telemetry.actuation_retries.inc()
         entry.retry_action = action
         if entry.retry_handle is not None:
             entry.retry_handle.cancel()
@@ -507,7 +551,7 @@ class ControlLoopManager:
         ):
             entry.retry_action = None
             return
-        self._actuate(entry, action, on_success=on_success)
+        self._actuate(entry, action, on_success=on_success, kind="retry")
 
     # -- the loop ----------------------------------------------------------------------
 
@@ -546,12 +590,105 @@ class ControlLoopManager:
             self._run_entry(entry, now)
 
     def _run_entry(self, entry: _Entry, now: float) -> None:
+        tel = self.telemetry
+        if tel is None:
+            entry.decision_span_id = None
+            self._run_entry_inner(entry, now, None)
+            return
+        sp = tel.tracer.begin("decide", "control", app=entry.app.name)
+        entry.decision_span_id = sp.id
+        try:
+            self._run_entry_inner(entry, now, sp)
+        finally:
+            tel.tracer.end(sp)
+
+    def _emit_provenance(
+        self,
+        entry: _Entry,
+        now: float,
+        verdict: str,
+        *,
+        decision: ControlDecision | None = None,
+        action: str | None = None,
+        target: ResourceVector | None = None,
+        sp=None,
+    ) -> None:
+        """Append one decision-provenance record (telemetry only).
+
+        Links the decide span back to the scrape that stored the newest
+        PLO sample this evaluation read, and snapshots controller
+        internals at decision time.
+        """
+        tel = self.telemetry
+        if tel is None:
+            return
+        app = entry.app
+        metric = app.plo.metric_name(app.name)
+        signal_time = self.collector.latest_time(metric)
+        signal_age = now - signal_time if signal_time is not None else None
+        scrape_span = (
+            self.collector.scrape_span_at(signal_time)
+            if signal_time is not None
+            else None
+        )
+        if sp is not None and scrape_span is not None:
+            sp.parent_id = scrape_span
+        controller = entry.controller
+        pid = getattr(controller, "pid", None)
+        tuner = getattr(controller, "tuner", None)
+        if action is None:
+            action = decision.action if decision is not None else "none"
+        if target is None and decision is not None and decision.changed:
+            target = decision.new_allocation
+        active: tuple[int, ...] = ()
+        if self.fault_log is not None:
+            active = tuple(ep.eid for ep in self.fault_log.active_at(now))
+        tel.tracer.trace.provenance.append(DecisionProvenance(
+            app=app.name,
+            time=now,
+            verdict=verdict,
+            action=action,
+            error=decision.error if decision is not None else None,
+            output=decision.output if decision is not None else None,
+            gain_scale=decision.gain_scale if decision is not None else None,
+            terms=(
+                getattr(pid, "last_terms", None)
+                if decision is not None
+                else None
+            ),
+            inputs={metric: self.collector.latest(metric)},
+            signal_age=signal_age,
+            stale_periods=entry.stale_periods,
+            safe_mode=entry.safe_mode,
+            deadband=getattr(controller, "deadband", 0.0),
+            clamped=decision.clamped if decision is not None else False,
+            weights=dict(decision.weights) if decision is not None else {},
+            target=target.as_dict() if target is not None else None,
+            replicas=app.replica_count,
+            lease_generation=self.lease_generation,
+            scrape_span_id=scrape_span,
+            span_id=sp.id if sp is not None else None,
+            active_faults=active,
+            tuner_event=(
+                getattr(tuner, "last_event", None)
+                if decision is not None
+                else None
+            ),
+        ))
+        if sp is not None:
+            sp.args["verdict"] = verdict
+            sp.args["action"] = action
+        if verdict == "actuated" and signal_age is not None:
+            tel.reaction_latency.observe(signal_age)
+
+    def _run_entry_inner(self, entry: _Entry, now: float, sp) -> None:
         app = entry.app
         prefix = f"control/{app.name}"
         status = app.plo.evaluate(self.collector, app.name, now)
 
         if not self._signal_fresh(entry, status.error, now):
             entry.skipped += 1
+            entered = False
             # Before the first signal ever arrives there is no last-known-
             # good state to protect; stay in the plain skip path.
             if entry.last_signal_time is not None:
@@ -561,9 +698,20 @@ class ControlLoopManager:
                     and entry.stale_periods >= self.resilience.safe_mode_after
                 ):
                     self._enter_safe_mode(entry, now)
+                    entered = True
             self.collector.record(
                 f"{prefix}/safe_mode", 1.0 if entry.safe_mode else 0.0
             )
+            if self.telemetry is not None:
+                if entered:
+                    self._emit_provenance(
+                        entry, now, "safe-mode-entry", action="freeze",
+                        target=entry.last_good_allocation, sp=sp,
+                    )
+                elif entry.safe_mode:
+                    self._emit_provenance(entry, now, "safe-mode-hold", sp=sp)
+                else:
+                    self._emit_provenance(entry, now, "stale-skip", sp=sp)
             return
 
         entry.stale_periods = 0
@@ -578,6 +726,7 @@ class ControlLoopManager:
         )
         if breaker_open:
             entry.breaker_skips += 1
+            self._emit_provenance(entry, now, "breaker-skip", sp=sp)
             return
 
         saturation = self._saturation(app)
@@ -588,14 +737,19 @@ class ControlLoopManager:
             status.error, saturation, app.current_allocation(),
             self.interval, feedforward=ff,
         )
+        if self.telemetry is not None:
+            self.telemetry.decisions.inc()
+        suppressed = False
         if (
             decision.action == "reclaim"
             and entry.feedforward is not None
             and entry.feedforward.reclaim_suppressed(app.name, now)
         ):
+            suppressed = True
             decision = ControlDecision(
                 "hold", app.current_allocation(), decision.error,
                 decision.output, decision.gain_scale, decision.weights,
+                reason="reclaim-suppressed",
             )
         entry.last_decision = decision
         entry.stats[decision.action] += 1
@@ -603,6 +757,8 @@ class ControlLoopManager:
         if self._record_direction(entry, decision):
             # Flapping tripped the breaker: suppress this actuation too.
             self.collector.record(f"{prefix}/breaker_open", 1.0)
+            self._emit_provenance(entry, now, "flap-breaker",
+                                  decision=decision, sp=sp)
             return
 
         if decision.changed:
@@ -616,7 +772,9 @@ class ControlLoopManager:
 
             if self.actuation_sink is not None:
                 self.actuation_sink(app.name, "resize", target)
-            self._actuate(entry, apply_vertical, on_success=mark_good)
+            self._actuate(
+                entry, apply_vertical, on_success=mark_good, kind="resize"
+            )
         elif entry.last_good_allocation is None:
             entry.last_good_allocation = app.current_allocation()
 
@@ -629,7 +787,7 @@ class ControlLoopManager:
 
                 if self.actuation_sink is not None:
                     self.actuation_sink(app.name, "scale", desired)
-                self._actuate(entry, apply_horizontal)
+                self._actuate(entry, apply_horizontal, kind="scale")
 
         self.collector.record(f"{prefix}/error", decision.error)
         self.collector.record(f"{prefix}/output", decision.output)
@@ -639,3 +797,14 @@ class ControlLoopManager:
             {"hold": 0.0, "grow": 1.0, "reclaim": -1.0}[decision.action],
         )
         self.collector.record(f"{prefix}/replicas", float(app.replica_count))
+
+        if self.telemetry is not None:
+            if decision.changed:
+                verdict = "actuated"
+            elif suppressed:
+                verdict = "reclaim-suppressed"
+            elif decision.reason == "deadband":
+                verdict = "deadband"
+            else:
+                verdict = "hold"
+            self._emit_provenance(entry, now, verdict, decision=decision, sp=sp)

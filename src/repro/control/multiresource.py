@@ -65,6 +65,12 @@ class ControlDecision:
     output: float
     gain_scale: float
     weights: dict[str, float]
+    #: Why a hold was held ("deadband", "zero-output", "no-dimensions",
+    #: "clamped") or "" for actuated decisions.
+    reason: str = ""
+    #: True when the bounds clamp altered (or fully absorbed) the
+    #: proposed allocation.
+    clamped: bool = False
 
     @property
     def changed(self) -> bool:
@@ -187,7 +193,8 @@ class MultiResourceController:
 
         if feedforward <= 0 and abs(error) <= self.deadband:
             return ControlDecision(
-                "hold", current, error, output, gain_scale, {}
+                "hold", current, error, output, gain_scale, {},
+                reason="deadband",
             )
 
         if output > 0:
@@ -200,7 +207,8 @@ class MultiResourceController:
             effort = output * self.reclaim_caution
         else:
             return ControlDecision(
-                "hold", current, error, output, gain_scale, {}
+                "hold", current, error, output, gain_scale, {},
+                reason="zero-output",
             )
 
         # Restrict actuation to the controlled dimensions.
@@ -210,7 +218,8 @@ class MultiResourceController:
         }
         if all(w == 0.0 for w in weights.values()):
             return ControlDecision(
-                "hold", current, error, output, gain_scale, weights
+                "hold", current, error, output, gain_scale, weights,
+                reason="no-dimensions",
             )
 
         factors = {
@@ -219,8 +228,13 @@ class MultiResourceController:
         }
         proposed = current.scale(factors)
         clamped = self.bounds.clamp(proposed)
+        was_clamped = not clamped.approx_equal(proposed, tolerance=1e-9)
         if clamped.approx_equal(current, tolerance=1e-9):
             return ControlDecision(
-                "hold", current, error, output, gain_scale, weights
+                "hold", current, error, output, gain_scale, weights,
+                reason="clamped", clamped=True,
             )
-        return ControlDecision(action, clamped, error, output, gain_scale, weights)
+        return ControlDecision(
+            action, clamped, error, output, gain_scale, weights,
+            clamped=was_clamped,
+        )

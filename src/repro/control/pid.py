@@ -79,6 +79,9 @@ class PIDController:
         self._filtered_error: float | None = None
         self._prev_filtered: float | None = None
         self.last_output = 0.0
+        #: Per-term contributions (P, I, D) of the most recent update —
+        #: decision-provenance introspection, not control state.
+        self.last_terms: tuple[float, float, float] = (0.0, 0.0, 0.0)
         self.updates = 0
 
     # -- runtime gain access --------------------------------------------------
@@ -96,6 +99,7 @@ class PIDController:
         self._filtered_error = None
         self._prev_filtered = None
         self.last_output = 0.0
+        self.last_terms = (0.0, 0.0, 0.0)
 
     def export_state(self) -> dict:
         """Durable-snapshot view of the mutable loop state.
@@ -162,11 +166,12 @@ class PIDController:
                 gains.ki * proposed_integral
             ) / gains.ki
 
-        unclamped = (
-            gains.kp * error
-            + (gains.ki * proposed_integral)
-            + gains.kd * derivative
+        self.last_terms = (
+            gains.kp * error,
+            gains.ki * proposed_integral,
+            gains.kd * derivative,
         )
+        unclamped = sum(self.last_terms)
         lo, hi = self.output_limits
         output = max(lo, min(hi, unclamped))
 

@@ -98,6 +98,8 @@ class ControllerStateStore:
         self._snapshot_seq = 0
         self._wal_seq = 0
         self.corruptions = 0
+        #: Optional :class:`~repro.obs.telemetry.Telemetry` bundle.
+        self.telemetry = None
 
     # -- writes ------------------------------------------------------------------
 
@@ -111,6 +113,8 @@ class ControllerStateStore:
             self._wal_seq, now, now + self.fsync_latency, app, kind, target
         )
         self.wal.append(record)
+        if self.telemetry is not None:
+            self.telemetry.wal_appends.inc()
         return record
 
     def snapshot(self, state: dict[str, dict]) -> StateSnapshot:
@@ -129,6 +133,8 @@ class ControllerStateStore:
             state,
         )
         self.snapshots.append(snap)
+        if self.telemetry is not None:
+            self.telemetry.snapshots.inc()
         return snap
 
     # -- fault injection -----------------------------------------------------------

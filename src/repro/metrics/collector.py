@@ -9,6 +9,7 @@ granularity — the same staleness a real PID loop fights.
 
 from __future__ import annotations
 
+import bisect
 from typing import Mapping, Protocol
 
 from repro.cluster.api import ClusterAPI
@@ -56,12 +57,23 @@ class MetricsCollector:
         self.scrape_interval = scrape_interval
         self._series_maxlen = series_maxlen
         self._sources: list[MetricsSource] = []
+        self._internal_sources: list[MetricsSource] = []
         self._series: dict[str, TimeSeries] = {}
         self._handle: PeriodicHandle | None = None
         self.scrapes = 0
+        #: Scrape rounds that produced no samples (dropped by a fault) or
+        #: arrived later than 1.5× the configured interval.
+        self.scrape_gaps = 0
+        self._last_attempt: float | None = None
         #: Optional :class:`~repro.metrics.faults.MetricsFaultInjector`
         #: distorting the scrape path (never the out-of-band ``record``).
         self.faults = faults
+        #: Optional :class:`~repro.obs.telemetry.Telemetry` bundle.
+        self.telemetry = None
+        # Completed scrape rounds as parallel (time, span_id) lists so a
+        # decision can be linked back to the scrape that fed it.
+        self._scrape_span_times: list[float] = []
+        self._scrape_span_ids: list[int] = []
 
     # -- registration -------------------------------------------------------
 
@@ -75,6 +87,16 @@ class MetricsCollector:
             self._sources.remove(source)
         except ValueError:
             pass
+
+    def register_internal(self, source: MetricsSource) -> None:
+        """Add a control-plane source scraped WITHOUT the fault filter.
+
+        Self-metrics describe the controller, not a kubelet exporter, so
+        metrics-layer faults (blackouts, noise) must not distort them —
+        and must not draw extra RNG for them, which would perturb seeded
+        runs depending on whether telemetry is enabled.
+        """
+        self._internal_sources.append(source)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -124,8 +146,41 @@ class MetricsCollector:
         """Sample every source and cluster-level gauges once."""
         now = self.engine.now
         self.scrapes += 1
+        tel = self.telemetry
+        # Late-arrival gap detection: if more than 1.5 intervals elapsed
+        # since the previous attempt, the rounds in between never ran
+        # (stopped collector, leadership gap). Disjoint from drop-gaps
+        # below, which count rounds that ran but produced nothing.
+        if self._last_attempt is not None:
+            elapsed = now - self._last_attempt
+            if elapsed > 1.5 * self.scrape_interval:
+                missed = max(1, round(elapsed / self.scrape_interval) - 1)
+                self.scrape_gaps += missed
+                if tel is not None:
+                    tel.scrape_gaps.inc(missed)
+                    tel.tracer.instant(
+                        "scrape_gap", "metrics", missed=missed, elapsed=elapsed
+                    )
+        self._last_attempt = now
         if self.faults is not None and self.faults.should_drop_scrape(now):
+            self.scrape_gaps += 1
+            if tel is not None:
+                tel.scrape_gaps.inc()
+                tel.tracer.instant("scrape_dropped", "metrics")
             return
+        if tel is None:
+            self._scrape_all(now)
+            return
+        tel.scrapes.inc()
+        sp = tel.tracer.begin("scrape", "metrics", round=self.scrapes)
+        self._scrape_span_times.append(now)
+        self._scrape_span_ids.append(sp.id)
+        try:
+            self._scrape_all(now)
+        finally:
+            tel.tracer.end(sp)
+
+    def _scrape_all(self, now: float) -> None:
         for source in list(self._sources):
             prefix = source.metric_prefix()
             for metric, value in source.sample_metrics(now).items():
@@ -149,6 +204,12 @@ class MetricsCollector:
                     f"{prefix}/alloc_frac/{name}", alloc_fractions[name], now
                 )
         self._store("cluster/pending_pods", float(len(self.api.pending_pods())), now)
+        # Control-plane self-metrics bypass the fault filter: see
+        # register_internal.
+        for source in list(self._internal_sources):
+            prefix = source.metric_prefix()
+            for metric, value in source.sample_metrics(now).items():
+                self.series(f"{prefix}/{metric}").append(now, value)
 
     # -- convenience queries ------------------------------------------------------
 
@@ -165,6 +226,21 @@ class MetricsCollector:
         """
         series = self._series.get(name)
         return series.last_time() if series is not None else None
+
+    def last_scrape_age(self, name: str) -> float | None:
+        """Seconds since the series last received a sample, or None.
+
+        The per-series staleness signal: diverges from the global scrape
+        cadence when a blackout or freeze fault hits one series while the
+        rest keep flowing.
+        """
+        last = self.latest_time(name)
+        return self.engine.now - last if last is not None else None
+
+    def scrape_span_at(self, time: float) -> int | None:
+        """Span id of the last completed scrape at or before ``time``."""
+        idx = bisect.bisect_right(self._scrape_span_times, time) - 1
+        return self._scrape_span_ids[idx] if idx >= 0 else None
 
     def window_mean(self, name: str, span: float) -> float | None:
         series = self._series.get(name)

@@ -56,6 +56,8 @@ class MetricsFaultInjector:
         self.samples_dropped = 0
         self.samples_frozen = 0
         self.outliers_injected = 0
+        #: Optional :class:`~repro.obs.telemetry.Telemetry` bundle.
+        self.telemetry = None
 
     # -- fault verbs ---------------------------------------------------------
 
@@ -131,9 +133,13 @@ class MetricsFaultInjector:
         """Distort one scraped sample; None means drop it."""
         if self._match(self._blackouts, name, now):
             self.samples_dropped += 1
+            if self.telemetry is not None:
+                self.telemetry.samples_distorted.inc()
             return None
         if self._match(self._frozen, name, now):
             self.samples_frozen += 1
+            if self.telemetry is not None:
+                self.telemetry.samples_distorted.inc()
             # No history yet: nothing to freeze to, drop the sample.
             return last if last is not None else None
         until, prob, factor = self._noise_window
@@ -141,6 +147,8 @@ class MetricsFaultInjector:
         effective = max(window_prob, self.outlier_probability)
         if effective > 0.0 and float(self.rng.random()) < effective:
             self.outliers_injected += 1
+            if self.telemetry is not None:
+                self.telemetry.samples_distorted.inc()
             scale = factor if now < until else self.outlier_factor
             return value * scale
         return value

@@ -1,15 +1,21 @@
 """Append-only time series with windowed aggregation.
 
 Samples are ``(time, value)`` pairs appended in non-decreasing time order.
-Retention is bounded (ring buffer) so day-long simulations stay memory-flat.
+Retention is bounded (FIFO) so day-long simulations stay memory-flat.
+
+Storage is a pair of plain lists with a start offset instead of deques:
+lists are directly bisectable, so point and window queries are
+O(log n + window) without copying the whole buffer — ``value_at`` used to
+materialize every retained sample per call, which put an O(n) term in
+every controller tick and every CSV export row. Eviction advances the
+offset and compacts lazily (amortized O(1) per append, ≤2× ``maxlen``
+transient memory).
 """
 
 from __future__ import annotations
 
 import bisect
 import math
-from collections import deque
-from typing import Iterable
 
 
 class TimeSeries:
@@ -21,51 +27,67 @@ class TimeSeries:
         Maximum retained samples; older samples are dropped FIFO.
     """
 
+    __slots__ = ("_times", "_values", "_maxlen", "_start")
+
     def __init__(self, *, maxlen: int = 100_000):
-        self._times: deque[float] = deque(maxlen=maxlen)
-        self._values: deque[float] = deque(maxlen=maxlen)
+        if maxlen < 1:
+            raise ValueError("maxlen must be ≥ 1")
+        self._maxlen = maxlen
+        self._times: list[float] = []
+        self._values: list[float] = []
+        self._start = 0  # index of the oldest retained sample
 
     def __len__(self) -> int:
-        return len(self._times)
+        return len(self._times) - self._start
 
     def append(self, time: float, value: float) -> None:
         """Append a sample; time must be ≥ the last appended time."""
-        if self._times and time < self._times[-1]:
+        times = self._times
+        if times and time < times[-1]:
             raise ValueError(
-                f"out-of-order sample: t={time} after t={self._times[-1]}"
+                f"out-of-order sample: t={time} after t={times[-1]}"
             )
-        self._times.append(float(time))
+        times.append(float(time))
         self._values.append(float(value))
+        if len(times) - self._start > self._maxlen:
+            self._start += 1
+            if self._start >= self._maxlen:
+                del times[: self._start]
+                del self._values[: self._start]
+                self._start = 0
 
     # -- point queries -------------------------------------------------------
 
     def last(self) -> float | None:
         """Most recent value, or None when empty."""
-        return self._values[-1] if self._values else None
+        return self._values[-1] if len(self) else None
 
     def last_time(self) -> float | None:
-        return self._times[-1] if self._times else None
+        return self._times[-1] if len(self) else None
 
     def value_at(self, time: float) -> float | None:
         """Last value at or before ``time`` (step interpolation)."""
-        times = list(self._times)
-        idx = bisect.bisect_right(times, time) - 1
-        if idx < 0:
+        idx = bisect.bisect_right(self._times, time, self._start) - 1
+        if idx < self._start:
             return None
-        return list(self._values)[idx]
+        return self._values[idx]
 
     # -- window queries ------------------------------------------------------
 
+    def _window_bounds(self, start: float, end: float) -> tuple[int, int]:
+        """Index range [lo, hi) of samples with ``start < t ≤ end``."""
+        lo = bisect.bisect_right(self._times, start, self._start)
+        hi = bisect.bisect_right(self._times, end, self._start)
+        return lo, hi
+
     def window(self, start: float, end: float) -> list[tuple[float, float]]:
         """Samples with ``start < t ≤ end`` (Prometheus-style range)."""
-        return [
-            (t, v)
-            for t, v in zip(self._times, self._values)
-            if start < t <= end
-        ]
+        lo, hi = self._window_bounds(start, end)
+        return list(zip(self._times[lo:hi], self._values[lo:hi]))
 
     def _window_values(self, now: float, span: float) -> list[float]:
-        return [v for _t, v in self.window(now - span, now)]
+        lo, hi = self._window_bounds(now - span, now)
+        return self._values[lo:hi]
 
     def mean_over(self, now: float, span: float) -> float | None:
         """Arithmetic mean of samples in the trailing window."""
@@ -94,17 +116,19 @@ class TimeSeries:
         return sum(self._window_values(now, span))
 
     def count_over(self, now: float, span: float) -> int:
-        return len(self._window_values(now, span))
+        lo, hi = self._window_bounds(now - span, now)
+        return hi - lo
 
     def rate_over(self, now: float, span: float) -> float | None:
         """Per-second increase of a monotonically-growing counter.
 
         Uses first/last samples in the window; None with <2 samples.
         """
-        samples = self.window(now - span, now)
-        if len(samples) < 2:
+        lo, hi = self._window_bounds(now - span, now)
+        if hi - lo < 2:
             return None
-        (t0, v0), (t1, v1) = samples[0], samples[-1]
+        t0, v0 = self._times[lo], self._values[lo]
+        t1, v1 = self._times[hi - 1], self._values[hi - 1]
         if t1 <= t0:
             return None
         return (v1 - v0) / (t1 - t0)
@@ -117,11 +141,12 @@ class TimeSeries:
         """
         if not 0 < alpha <= 1:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
-        values: Iterable[float] = self._values
+        lo = self._start
         if count is not None:
-            values = list(self._values)[-count:]
+            lo = max(lo, len(self._values) - count)
         result: float | None = None
-        for v in values:
+        for i in range(lo, len(self._values)):
+            v = self._values[i]
             result = v if result is None else alpha * v + (1 - alpha) * result
         return result
 
@@ -133,18 +158,18 @@ class TimeSeries:
         """
         if end <= start:
             return 0.0
-        points = [(t, v) for t, v in zip(self._times, self._values) if t <= end]
-        if not points:
+        hi = bisect.bisect_right(self._times, end, self._start)
+        if hi <= self._start:
             return 0.0
         total = 0.0
-        for i, (t, v) in enumerate(points):
-            seg_start = max(t, start)
-            seg_end = points[i + 1][0] if i + 1 < len(points) else end
+        for i in range(self._start, hi):
+            seg_start = max(self._times[i], start)
+            seg_end = self._times[i + 1] if i + 1 < hi else end
             seg_end = min(seg_end, end)
             if seg_end > seg_start:
-                total += v * (seg_end - seg_start)
+                total += self._values[i] * (seg_end - seg_start)
         return total
 
     def to_lists(self) -> tuple[list[float], list[float]]:
         """Copies of (times, values), e.g. for plotting or export."""
-        return list(self._times), list(self._values)
+        return self._times[self._start:], self._values[self._start:]

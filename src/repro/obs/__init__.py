@@ -1,0 +1,37 @@
+"""Control-plane observability: causal tracing, self-metrics, exporters.
+
+Opt-in via ``PlatformConfig.telemetry``; see ``docs/observability.md``.
+"""
+
+from repro.obs.export import (
+    to_chrome_trace,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NAME_PATTERN,
+    lint_names,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.tracing import DecisionProvenance, Span, Trace, Tracer
+
+__all__ = [
+    "Counter",
+    "DecisionProvenance",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NAME_PATTERN",
+    "Span",
+    "Telemetry",
+    "Trace",
+    "Tracer",
+    "lint_names",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,75 @@
+"""The telemetry facade: one tracer + one registry per run.
+
+Components never construct their own tracing state; the platform builds
+a single :class:`Telemetry` when ``PlatformConfig.telemetry`` is set and
+hands it to every instrumented component (collector, control-loop
+managers, cluster API, statestore, control plane, fault injectors). Each
+instrumentation site guards with ``if self.telemetry is not None`` — one
+attribute load and a None check — so a disabled run pays effectively
+nothing and stays bit-identical to pre-telemetry behaviour.
+
+The standard instrument set lives here so its names are linted in one
+place (``python -m repro.obs.registry``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+#: Buckets for scrape→actuation reaction latency (seconds): sub-scrape
+#: up to many control periods.
+REACTION_BUCKETS = (1.0, 2.5, 5.0, 7.5, 10.0, 12.5, 15.0, 20.0, 30.0, 60.0)
+
+
+class Telemetry:
+    """Per-run observability bundle: causal tracer + self-metrics.
+
+    All instruments are pre-registered so the ``ctrl/*`` series exist
+    (at zero) from the first scrape, and so the CI name lint can
+    enumerate the full standard set without running an experiment.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.tracer = Tracer(engine)
+        self.registry = MetricsRegistry()
+        r = self.registry
+        # -- decision pipeline ------------------------------------------------
+        self.decisions = r.counter("decisions_total")
+        self.actuations = r.counter("actuations_total")
+        self.safe_mode_entries = r.counter("safe_mode_entries_total")
+        self.breaker_trips = r.counter("breaker_trips_total")
+        self.actuation_failures = r.counter("actuation_failures_total")
+        self.actuation_retries = r.counter("actuation_retries_total")
+        self.reaction_latency = r.histogram(
+            "reaction_latency", buckets=REACTION_BUCKETS
+        )
+        # -- metrics pipeline -------------------------------------------------
+        self.scrapes = r.counter("scrapes_total")
+        self.scrape_gaps = r.counter("scrape_gaps_total")
+        self.samples_distorted = r.counter("samples_distorted_total")
+        # -- HA plane ---------------------------------------------------------
+        self.wal_appends = r.counter("wal_appends_total")
+        self.snapshots = r.counter("snapshots_total")
+        self.elections = r.counter("elections_total")
+        self.step_downs = r.counter("step_downs_total")
+        # -- engine -----------------------------------------------------------
+        self.engine_events = r.counter("engine_events_total")
+
+    @property
+    def trace(self):
+        return self.tracer.trace
+
+    # -- MetricsSource protocol (the collector scrapes the bundle) ------------
+
+    def metric_prefix(self) -> str:
+        return self.registry.metric_prefix()
+
+    def sample_metrics(self, now: float) -> dict[str, float]:
+        # Counters the simulation already maintains are synced at scrape
+        # time rather than incremented per occurrence — observing every
+        # engine event from telemetry would cost a call per event.
+        self.engine_events.value = float(self.engine.events_executed)
+        return self.registry.sample_metrics(now)

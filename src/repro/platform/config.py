@@ -139,6 +139,11 @@ class PlatformConfig:
     snapshot_interval: float | None = 60.0
     #: Delay before a statestore write is durable (fsync analogue).
     fsync_latency: float = 0.005
+    # -- observability (repro.obs) -------------------------------------------
+    #: Enable causal decision tracing and the ``ctrl/*`` self-metrics
+    #: registry. Observation-only: seeded runs are bit-identical with
+    #: telemetry on or off.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         for name in (

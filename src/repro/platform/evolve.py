@@ -45,6 +45,7 @@ from repro.control.multiresource import AllocationBounds
 from repro.control.statestore import ControllerStateStore
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.faults import MetricsFaultInjector
+from repro.obs.telemetry import Telemetry
 from repro.platform.config import ClusterSpec, PlatformConfig, build_nodes
 from repro.scheduler.converged import ConvergedScheduler, SiloedScheduler
 from repro.scheduler.kube import KubeScheduler
@@ -194,8 +195,36 @@ class EvolvePlatform:
         self.injector = FailureInjector(self.cluster, log=self.fault_log)
         self.degrader = DegradationInjector(self.cluster, log=self.fault_log)
         self.chaos: ChaosMonkey | None = None
+        self.telemetry: Telemetry | None = None
+        if self.config.telemetry:
+            self._enable_telemetry()
         self._started = False
         self._run_until = 0.0
+
+    def _enable_telemetry(self) -> None:
+        """Build the per-run Telemetry bundle and hand it to every
+        instrumented component.
+
+        Observation-only by construction: the tracer never schedules
+        events or draws RNG, and the registry is scraped through
+        ``register_internal`` (no fault filter, hence no extra RNG
+        draws), so a seeded run is bit-identical with telemetry on or
+        off.
+        """
+        tel = Telemetry(self.engine)
+        self.telemetry = tel
+        self.api.telemetry = tel
+        self.collector.telemetry = tel
+        self.collector.register_internal(tel)
+        self.metrics_faults.telemetry = tel
+        if self.statestore is not None:
+            self.statestore.telemetry = tel
+        if self.control_plane is not None:
+            self.control_plane.telemetry = tel
+        for policy in self.replica_policies:
+            manager = getattr(policy, "manager", None)
+            if manager is not None:
+                manager.telemetry = tel
 
     def set_tenant_quota(self, tenant: str, limit: ResourceVector) -> None:
         """Cap the total resources ``tenant``-labelled pods may hold.

@@ -1,0 +1,122 @@
+"""Unit tests for trace analysis (reaction latency, critical paths)."""
+
+import pytest
+
+from repro.analysis.traces import (
+    actuations,
+    critical_path,
+    end_to_end_reaction,
+    latency_quantiles,
+    reaction_latencies,
+    triggering_scrape,
+)
+from repro.obs.tracing import Span, Trace
+
+
+def make_trace():
+    """Two scrape→decide→actuate chains plus one orphan actuation.
+
+    Chain A: scrape@10 → decide@15 (grow) → actuate@15 applied.
+    Chain B: scrape@20 → decide@30 (grow) → actuate@32 applied.
+    Orphan:  actuate@40 applied, no parent (e.g. replayed WAL record).
+    Failed:  actuate@50 failed, child of decide B.
+    """
+    trace = Trace()
+
+    def add(id, name, t, *, parent=None, **args):
+        span = Span(id, name, "", t, parent_id=parent, args=args)
+        trace.add(span)
+        return span
+
+    add(1, "scrape", 10.0)
+    add(2, "decide", 15.0, parent=1, app="web", action="grow")
+    add(3, "actuate", 15.0, parent=2, app="web", outcome="applied")
+    add(4, "scrape", 20.0)
+    add(5, "decide", 30.0, parent=4, app="web", action="grow")
+    add(6, "actuate", 32.0, parent=5, app="web", outcome="applied")
+    add(7, "actuate", 40.0, app="web", outcome="applied")
+    add(8, "actuate", 50.0, parent=5, app="web", outcome="failed")
+    add(9, "decide", 35.0, parent=4, app="cache", action="reclaim")
+    add(10, "actuate", 35.0, parent=9, app="cache", outcome="applied")
+    return trace
+
+
+class TestActuations:
+    def test_applied_only_by_default(self):
+        trace = make_trace()
+        spans = actuations(trace, "web")
+        assert [s.id for s in spans] == [3, 6, 7]
+
+    def test_include_failed(self):
+        trace = make_trace()
+        spans = actuations(trace, "web", applied_only=False)
+        assert [s.id for s in spans] == [3, 6, 7, 8]
+
+    def test_all_apps(self):
+        assert len(actuations(make_trace())) == 4
+
+
+class TestCausalWalk:
+    def test_triggering_scrape_found(self):
+        trace = make_trace()
+        assert triggering_scrape(trace, trace.get(6)).id == 4
+
+    def test_orphan_has_no_scrape(self):
+        trace = make_trace()
+        assert triggering_scrape(trace, trace.get(7)) is None
+
+    def test_critical_path_is_root_first(self):
+        trace = make_trace()
+        path = critical_path(trace, trace.get(6))
+        assert [s.name for s in path] == ["scrape", "decide", "actuate"]
+
+
+class TestReactionLatencies:
+    def test_latency_is_scrape_to_actuation(self):
+        trace = make_trace()
+        assert reaction_latencies(trace, "web") == [5.0, 12.0]
+
+    def test_orphans_are_skipped(self):
+        # Span 7 has no scrape ancestor; only chains A and B count.
+        assert len(reaction_latencies(make_trace(), "web")) == 2
+
+    def test_all_apps_included_without_filter(self):
+        assert reaction_latencies(make_trace()) == [5.0, 12.0, 15.0]
+
+
+class TestLatencyQuantiles:
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        q = latency_quantiles(values)
+        assert q == {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+
+    def test_single_value(self):
+        assert latency_quantiles([7.0]) == {"p50": 7.0, "p95": 7.0,
+                                            "p99": 7.0}
+
+    def test_custom_quantiles(self):
+        q = latency_quantiles([1.0, 2.0, 3.0, 4.0], qs=(25, 75))
+        assert q == {"p25": 1.0, "p75": 3.0}
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            latency_quantiles([])
+
+
+class TestEndToEndReaction:
+    def test_first_matching_actuation_after_step(self):
+        # Step at 20: actuate@32 is the first applied grow at/after it.
+        assert end_to_end_reaction(make_trace(), 20.0, "web") == 12.0
+
+    def test_actuations_before_step_ignored(self):
+        assert end_to_end_reaction(make_trace(), 16.0, "web") == 16.0
+
+    def test_action_filter(self):
+        trace = make_trace()
+        assert end_to_end_reaction(trace, 0.0, "cache",
+                                   action="reclaim") == 35.0
+        assert end_to_end_reaction(trace, 0.0, "cache",
+                                   action="grow") is None
+
+    def test_none_when_never_reacted(self):
+        assert end_to_end_reaction(make_trace(), 100.0, "web") is None

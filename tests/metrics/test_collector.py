@@ -108,3 +108,70 @@ def test_stop_halts_scraping(engine, collector):
 def test_invalid_interval(engine, api):
     with pytest.raises(ValueError):
         MetricsCollector(engine, api, scrape_interval=0)
+
+
+def test_last_scrape_age_tracks_per_series_staleness(engine, collector):
+    source = FakeSource()
+    collector.register(source)
+    collector.start()
+    engine.run_until(10.0)
+    assert collector.last_scrape_age("app/fake/latency") == pytest.approx(0.0)
+    collector.unregister(source)
+    engine.run_until(22.0)
+    # The series went stale while the scrape loop kept running.
+    assert collector.last_scrape_age("app/fake/latency") == pytest.approx(12.0)
+    assert collector.last_scrape_age("never/scraped") is None
+
+
+def test_scrape_gap_counted_when_rounds_are_missed(engine, collector):
+    collector.start()
+    engine.run_until(10.0)
+    assert collector.scrape_gaps == 0
+    collector.stop()
+    engine.run_until(40.0)
+    collector.start()
+    engine.run_until(46.0)
+    # Rounds at 15..40 never ran: the late arrival at 45 books the
+    # missed rounds as a gap.
+    assert collector.scrape_gaps >= 5
+
+
+def test_internal_source_bypasses_fault_filter(engine, api):
+    from repro.metrics.faults import MetricsFaultInjector
+
+    faults = MetricsFaultInjector()
+    faults.drop_scrape_probability = 1.0
+    collector = MetricsCollector(engine, api, scrape_interval=5.0,
+                                 faults=faults)
+    internal = FakeSource(prefix="ctrl")
+    collector.register_internal(internal)
+    collector.start()
+    engine.run_until(20.0)
+    # Every round was dropped by the fault, so nothing internal sampled
+    # either — but the drops were booked as gaps.
+    assert collector.scrape_gaps >= 3
+    faults.drop_scrape_probability = 0.0
+    engine.run_until(30.0)
+    assert collector.latest("ctrl/latency") == 1.0
+
+
+def test_scrape_span_at_without_telemetry_is_none(engine, collector):
+    collector.start()
+    engine.run_until(20.0)
+    assert collector.scrape_span_at(20.0) is None
+
+
+def test_scrape_span_at_returns_covering_round(engine, api):
+    from repro.obs.telemetry import Telemetry
+
+    collector = MetricsCollector(engine, api, scrape_interval=5.0)
+    tel = Telemetry(engine)
+    collector.telemetry = tel
+    collector.start()
+    engine.run_until(21.0)
+    span_at_7 = collector.scrape_span_at(7.0)   # round at t=5
+    span_at_20 = collector.scrape_span_at(20.0)  # round at t=20
+    assert span_at_7 is not None and span_at_20 is not None
+    assert span_at_7 != span_at_20
+    assert tel.trace.get(span_at_20).start == 20.0
+    assert collector.scrape_span_at(1.0) is None  # before the first round

@@ -170,3 +170,64 @@ class TestProperties:
         whole = ts.integrate(0, end)
         split = ts.integrate(0, mid) + ts.integrate(mid, end)
         assert whole == pytest.approx(split, rel=1e-6, abs=1e-6)
+
+
+class TestCompaction:
+    """Eviction past maxlen: offset advance + periodic list compaction."""
+
+    def test_eviction_keeps_newest_samples(self):
+        ts = TimeSeries(maxlen=5)
+        for i in range(12):
+            ts.append(float(i), float(i * 10))
+        assert len(ts) == 5
+        assert ts.to_lists() == (
+            [7.0, 8.0, 9.0, 10.0, 11.0],
+            [70.0, 80.0, 90.0, 100.0, 110.0],
+        )
+
+    def test_queries_correct_across_compaction_boundary(self):
+        # maxlen=4: the backing lists compact every 4 evictions; run far
+        # past several compactions and check every query path.
+        ts = TimeSeries(maxlen=4)
+        for i in range(25):
+            ts.append(float(i), float(i))
+        assert len(ts) == 4
+        assert ts.value_at(23.5) == 23.0
+        assert ts.value_at(20.0) is None  # evicted
+        assert ts.window(21.0, 24.0) == [(22.0, 22.0), (23.0, 23.0),
+                                         (24.0, 24.0)]
+        assert ts.mean_over(24.0, 3.0) == pytest.approx(23.0)
+        assert ts.count_over(24.0, 100.0) == 4
+        assert ts.percentile_over(24.0, 100.0, 100) == 24.0
+
+    def test_memory_stays_bounded(self):
+        ts = TimeSeries(maxlen=10)
+        for i in range(1000):
+            ts.append(float(i), 0.0)
+        # Lazy compaction keeps the backing lists under 2x maxlen.
+        assert len(ts._times) <= 2 * 10
+        assert len(ts) == 10
+
+    def test_rate_and_integrate_after_eviction(self):
+        ts = TimeSeries(maxlen=3)
+        for i in range(10):
+            ts.append(float(i), float(i))
+        # Retained samples: t=7,8,9.
+        assert ts.rate_over(9.0, 10.0) == pytest.approx(1.0)
+        assert ts.integrate(7.0, 9.0) == pytest.approx(7.0 + 8.0)
+
+    def test_maxlen_one(self):
+        ts = TimeSeries(maxlen=1)
+        for i in range(5):
+            ts.append(float(i), float(i))
+        assert len(ts) == 1
+        assert ts.last() == 4.0
+        assert ts.value_at(4.0) == 4.0
+
+    def test_ewma_ignores_evicted_samples(self):
+        ts = TimeSeries(maxlen=2)
+        for i in range(6):
+            ts.append(float(i), float(i))
+        # Only values 4, 5 are retained; alpha=1 returns the last.
+        assert ts.ewma(1.0) == 5.0
+        assert ts.ewma(0.5) == pytest.approx(0.5 * 5 + 0.5 * 4)

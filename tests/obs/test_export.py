@@ -1,0 +1,135 @@
+"""Unit tests for the Chrome trace_event and JSONL exporters."""
+
+import json
+
+import pytest
+
+from repro.cluster.chaos import FaultLog
+from repro.obs.export import (
+    TIME_SCALE,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.obs.tracing import DecisionProvenance, Tracer
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def tracer(engine: Engine) -> Tracer:
+    return Tracer(engine)
+
+
+def _sample_trace(tracer: Tracer):
+    """scrape → decide → actuate plus one provenance record."""
+    scrape = tracer.instant("scrape", "metrics", round=1)
+    decide = tracer.instant("decide", "control", parent=scrape, app="web")
+    actuate = tracer.instant("actuate", "actuation", parent=decide,
+                             outcome="applied")
+    trace = tracer.trace
+    trace.provenance.append(DecisionProvenance(
+        app="web", time=0.0, verdict="actuated", action="grow",
+        error=0.1, output=0.2, gain_scale=None, terms=None,
+        inputs={}, signal_age=0.0, stale_periods=0, safe_mode=False,
+        deadband=0.0, clamped=False, weights={}, target=None,
+        replicas=1, lease_generation=None, scrape_span_id=scrape.id,
+        span_id=decide.id, active_faults=(), tuner_event=None,
+    ))
+    return scrape, decide, actuate
+
+
+class TestChromeTrace:
+    def test_spans_become_complete_events(self, tracer):
+        _sample_trace(tracer)
+        doc = to_chrome_trace(tracer.trace)
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in complete] == ["scrape", "decide",
+                                                 "actuate"]
+        # Category-stable tracks: metrics / control / actuation.
+        assert [e["tid"] for e in complete] == [1, 2, 3]
+
+    def test_causal_edges_become_flow_pairs(self, tracer):
+        _, decide, actuate = _sample_trace(tracer)
+        doc = to_chrome_trace(tracer.trace)
+        starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+        # One pair per parent link (decide→scrape, actuate→decide),
+        # id'd by the child span so the pair matches up.
+        assert {e["id"] for e in starts} == {decide.id, actuate.id}
+        assert {e["id"] for e in finishes} == {decide.id, actuate.id}
+
+    def test_timestamps_scaled_to_microseconds(self, engine, tracer):
+        engine.schedule(2.0, lambda: tracer.instant("late"))
+        engine.run_until(2.0)
+        doc = to_chrome_trace(tracer.trace)
+        assert doc["traceEvents"][0]["ts"] == 2.0 * TIME_SCALE
+
+    def test_zero_length_spans_get_visible_duration(self, tracer):
+        tracer.instant("tick")
+        doc = to_chrome_trace(tracer.trace)
+        assert doc["traceEvents"][0]["dur"] >= 1.0
+
+    def test_args_carry_span_and_parent_ids(self, tracer):
+        _, decide, _ = _sample_trace(tracer)
+        doc = to_chrome_trace(tracer.trace)
+        event = next(e for e in doc["traceEvents"]
+                     if e.get("args", {}).get("span_id") == decide.id)
+        assert event["args"]["parent_id"] == decide.parent_id
+
+    def test_fault_episodes_on_dedicated_track(self, tracer):
+        _sample_trace(tracer)
+        log = FaultLog()
+        log.record("node-crash", "node-1", 0.0, 5.0, detail="test")
+        doc = to_chrome_trace(tracer.trace, fault_log=log)
+        faults = [e for e in doc["traceEvents"] if e["cat"] == "fault"]
+        assert len(faults) == 1
+        assert faults[0]["tid"] == 6
+        assert faults[0]["args"]["eid"] == 0
+
+    def test_open_fault_extends_to_trace_end(self, engine, tracer):
+        engine.schedule(10.0, lambda: tracer.instant("late"))
+        engine.run_until(10.0)
+        log = FaultLog()
+        log.open("partition", "ctrl-1", 4.0)
+        doc = to_chrome_trace(tracer.trace, fault_log=log)
+        fault = next(e for e in doc["traceEvents"] if e["cat"] == "fault")
+        assert fault["dur"] == pytest.approx((10.0 - 4.0) * TIME_SCALE)
+
+    def test_non_serializable_args_are_repred(self, tracer):
+        tracer.instant("odd", payload=object())
+        doc = to_chrome_trace(tracer.trace)
+        json.dumps(doc)  # must not raise
+
+    def test_write_returns_event_count(self, tracer, tmp_path):
+        _sample_trace(tracer)
+        path = tmp_path / "out.json"
+        count = write_chrome_trace(tracer.trace, str(path))
+        doc = json.loads(path.read_text())
+        assert count == len(doc["traceEvents"])
+        assert doc["metadata"]["spans"] == 3
+
+
+class TestJsonl:
+    def test_one_typed_object_per_line(self, tracer, tmp_path):
+        _sample_trace(tracer)
+        log = FaultLog()
+        log.record("node-crash", "node-1", 0.0, 5.0)
+        path = tmp_path / "out.jsonl"
+        count = write_trace_jsonl(tracer.trace, str(path), fault_log=log)
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert count == len(lines) == 5  # 3 spans + 1 provenance + 1 fault
+        kinds = [line["type"] for line in lines]
+        assert kinds.count("span") == 3
+        assert kinds.count("provenance") == 1
+        assert kinds.count("fault") == 1
+
+    def test_provenance_line_carries_causal_ids(self, tracer, tmp_path):
+        scrape, decide, _ = _sample_trace(tracer)
+        path = tmp_path / "out.jsonl"
+        write_trace_jsonl(tracer.trace, str(path))
+        prov = next(json.loads(line)
+                    for line in path.read_text().splitlines()
+                    if json.loads(line)["type"] == "provenance")
+        assert prov["scrape_span_id"] == scrape.id
+        assert prov["span_id"] == decide.id

@@ -72,3 +72,38 @@ def test_run_bad_config(tmp_path, capsys):
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_trace_command_chrome(tmp_path, capsys):
+    out = tmp_path / "run.json"
+    assert main(["trace", str(out), "--duration", "600"]) == 0
+    doc = json.loads(out.read_text())
+    events = doc["traceEvents"]
+    assert events
+    stdout = capsys.readouterr().out
+    assert "trace events" in stdout
+    assert "provenance records" in stdout
+    # At least one applied actuation chains back to a scrape round.
+    by_id = {e["args"]["span_id"]: e for e in events
+             if e["ph"] == "X" and "span_id" in e.get("args", {})}
+    chained = 0
+    for event in by_id.values():
+        if (event["name"] != "actuate"
+                or event["args"].get("outcome") != "applied"):
+            continue
+        node = event
+        while node is not None and node["name"] != "scrape":
+            node = by_id.get(node["args"].get("parent_id"))
+        chained += node is not None
+    assert chained >= 1
+
+
+def test_trace_command_jsonl(tmp_path, capsys):
+    out = tmp_path / "run.jsonl"
+    assert main(["trace", str(out), "--format", "jsonl",
+                 "--duration", "600"]) == 0
+    lines = [json.loads(line) for line in out.read_text().splitlines()]
+    kinds = {line["type"] for line in lines}
+    assert "span" in kinds
+    assert "provenance" in kinds
+    assert "JSONL lines" in capsys.readouterr().out

@@ -57,7 +57,14 @@ PUBLIC_SURFACE = {
                        "cluster_energy", "EpisodeRecovery", "RecoveryStats",
                        "fault_recovery_report", "reconvergence_time",
                        "summarize", "FailoverStats", "failover_stats",
-                       "series_divergence"],
+                       "series_divergence", "actuations", "critical_path",
+                       "end_to_end_reaction", "latency_quantiles",
+                       "reaction_latencies", "triggering_scrape"],
+    "repro.obs": ["Telemetry", "Tracer", "Trace", "Span",
+                  "DecisionProvenance", "MetricsRegistry", "Counter",
+                  "Gauge", "Histogram", "NAME_PATTERN", "lint_names",
+                  "to_chrome_trace", "write_chrome_trace",
+                  "write_trace_jsonl"],
 }
 
 
