@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cluster.resources import RESOURCES
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.timeseries import TimeSeries
@@ -131,23 +133,27 @@ def settling_time(
 
     Returns None if it never settles within the observed samples (or
     before ``horizon``).
+
+    Vectorized: the scan for the last excursion outside the band is a
+    numpy mask operation over the whole series (comparisons only, so the
+    result is identical to the sample-by-sample loop it replaced).
     """
     times, values = series.to_lists()
-    lo, hi = target * (1 - band), target * (1 + band)
-    candidate: float | None = None
-    last_time: float | None = None
-    for t, v in zip(times, values):
-        if t < after or (horizon is not None and t > horizon):
-            continue
-        last_time = t
-        inside = lo <= v <= hi
-        if inside and candidate is None:
-            candidate = t
-        elif not inside:
-            candidate = None
-    if candidate is None or last_time is None:
+    t = np.asarray(times)
+    v = np.asarray(values)
+    keep = t >= after
+    if horizon is not None:
+        keep &= t <= horizon
+    t, v = t[keep], v[keep]
+    if t.size == 0:
         return None
-    if last_time - candidate < hold:
+    lo, hi = target * (1 - band), target * (1 + band)
+    inside = (v >= lo) & (v <= hi)
+    if not inside[-1]:
+        return None
+    outside = np.flatnonzero(~inside)
+    candidate = float(t[0] if outside.size == 0 else t[outside[-1] + 1])
+    if float(t[-1]) - candidate < hold:
         return None
     return candidate - after
 
@@ -164,23 +170,21 @@ def recovery_time(
 
     The natural convergence metric for PLO ratios: "how long until the
     objective is met again, for good". Returns None if it never recovers
-    within the observed samples.
+    within the observed samples. Vectorized like :func:`settling_time`.
     """
     times, values = series.to_lists()
-    candidate: float | None = None
-    last_time: float | None = None
-    for t, v in zip(times, values):
-        if t < after:
-            continue
-        last_time = t
-        if v <= threshold:
-            if candidate is None:
-                candidate = t
-        else:
-            candidate = None
-    if candidate is None or last_time is None:
+    t = np.asarray(times)
+    v = np.asarray(values)
+    keep = t >= after
+    t, v = t[keep], v[keep]
+    if t.size == 0:
         return None
-    if last_time - candidate < hold:
+    ok = v <= threshold
+    if not ok[-1]:
+        return None
+    bad = np.flatnonzero(~ok)
+    candidate = float(t[0] if bad.size == 0 else t[bad[-1] + 1])
+    if float(t[-1]) - candidate < hold:
         return None
     return candidate - after
 
@@ -207,13 +211,19 @@ def overshoot(
 ) -> float:
     """Peak relative excursion above ``target`` after time ``after``.
 
-    Returns 0 when the series never exceeds the target.
+    Returns 0 when the series never exceeds the target. Vectorized;
+    the maximum of per-sample excursions is order-independent, so the
+    result matches the scalar loop exactly.
     """
+    if target <= 0:
+        return 0.0
     times, values = series.to_lists()
-    peak = 0.0
-    for t, v in zip(times, values):
-        if t < after or (until is not None and t > until):
-            continue
-        if target > 0:
-            peak = max(peak, (v - target) / target)
-    return peak
+    t = np.asarray(times)
+    v = np.asarray(values)
+    keep = t >= after
+    if until is not None:
+        keep &= t <= until
+    v = v[keep]
+    if v.size == 0:
+        return 0.0
+    return max(0.0, float(np.max((v - target) / target)))

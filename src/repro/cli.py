@@ -153,6 +153,33 @@ def cmd_policies(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    # ``benchmarks`` is a repo-level package (not installed with repro),
+    # so the unified runner is only importable from a source checkout.
+    try:
+        from benchmarks import runner
+    except ImportError:
+        print(
+            "error: the benchmark registry is not importable — run "
+            "`repro bench` from the repository root (the `benchmarks/` "
+            "package is not part of the installed distribution)",
+            file=sys.stderr,
+        )
+        return 2
+    argv: list[str] = []
+    if args.full:
+        argv.append("--full")
+    elif args.smoke:
+        argv.append("--smoke")
+    if args.json is not None:
+        argv.extend(["--json", args.json])
+    if args.only is not None:
+        argv.extend(["--only", args.only])
+    if args.list:
+        argv.append("--list")
+    return runner.main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -188,6 +215,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     policies = sub.add_parser("policies", help="list policies and schedulers")
     policies.set_defaults(func=cmd_policies)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the unified benchmark registry (BENCH_<exp>.json per "
+             "experiment, deterministic smoke budgets)",
+    )
+    mode = bench.add_mutually_exclusive_group()
+    mode.add_argument("--smoke", action="store_true",
+                      help="CI-sized variants with deterministic budget "
+                           "gates (default)")
+    mode.add_argument("--full", action="store_true",
+                      help="paper-scale grids behind EXPERIMENTS.md")
+    bench.add_argument("--json", metavar="DIR", default=None,
+                       help="write one BENCH_<exp>.json per experiment")
+    bench.add_argument("--only", default=None,
+                       help="comma-separated experiment names (default: all)")
+    bench.add_argument("--list", action="store_true",
+                       help="list registered experiments and exit")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

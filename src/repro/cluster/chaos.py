@@ -167,6 +167,7 @@ class FailureInjector:
         episode = self.log.open("node-crash", node_name, self.cluster.now)
         self._down[node_name] = (node.allocatable, episode)
         node.allocatable = ResourceVector.zero()
+        node.generation += 1
         failure = NodeFailure(self.cluster.now, node_name, evicted)
         self.failures.append(failure)
         return failure
@@ -180,6 +181,7 @@ class FailureInjector:
         node.allocatable = (node.allocatable + removed).elementwise_min(
             _nominal_allocatable(node)
         )
+        node.generation += 1
         self.recoveries += 1
         self.log.close(episode, self.cluster.now)
 
@@ -223,6 +225,7 @@ class DegradationInjector:
         node = self.cluster.get_node(node_name)
         before = node.allocatable
         node.allocatable = before * factor
+        node.generation += 1
         removed = before - node.allocatable
         # Shed load until the survivors fit the reduced capacity.
         while not node.allocated.fits_within(node.allocatable):
@@ -248,6 +251,7 @@ class DegradationInjector:
         node.allocatable = (node.allocatable + removed).elementwise_min(
             _nominal_allocatable(node)
         )
+        node.generation += 1
         self.restorations += 1
         self.log.close(episode, self.cluster.now)
 

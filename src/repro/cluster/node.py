@@ -52,6 +52,11 @@ class Node:
         self.labels: dict[str, str] = dict(labels or {})
         self.pods: dict[str, Pod] = {}
         self._allocated = ResourceVector.zero()
+        #: Monotonic counter bumped on every bind/release/resize (and by
+        #: chaos capacity changes). Schedulers key score caches on it:
+        #: a cached score for (node, generation) is valid as long as the
+        #: node's membership and capacity accounting are unchanged.
+        self.generation = 0
 
     # -- accounting -----------------------------------------------------------
 
@@ -104,6 +109,7 @@ class Node:
             )
         self.pods[pod.name] = pod
         self._allocated = self._allocated + pod.allocation
+        self.generation += 1
 
     def release(self, pod: Pod) -> None:
         """Remove a pod's allocation from this node."""
@@ -111,6 +117,7 @@ class Node:
             raise NodeError(f"pod {pod.name!r} is not bound to node {self.name!r}")
         del self.pods[pod.name]
         self._allocated = (self._allocated - pod.allocation).clamp_nonnegative()
+        self.generation += 1
 
     def apply_resize(self, pod: Pod, new_allocation: ResourceVector) -> None:
         """Atomically swap a bound pod's allocation (checked for fit)."""
@@ -122,6 +129,7 @@ class Node:
             self._allocated - pod.allocation + new_allocation
         ).clamp_nonnegative()
         pod.allocation = new_allocation
+        self.generation += 1
 
     # -- introspection --------------------------------------------------------
 

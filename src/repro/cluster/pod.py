@@ -156,8 +156,19 @@ class Pod:
         return self.phase in (PodPhase.SUCCEEDED, PodPhase.FAILED, PodPhase.EVICTED)
 
     def record_usage(self, usage: ResourceVector) -> None:
-        """Record measured usage, enforced at the current allocation."""
-        self.usage = usage.elementwise_min(self.allocation).clamp_nonnegative()
+        """Record measured usage, enforced at the current allocation.
+
+        Fused elementwise ``min`` + nonnegative clamp: this runs once per
+        replica per model tick, making it one of the hottest call sites
+        in long simulations.
+        """
+        alloc = self.allocation
+        self.usage = ResourceVector._from_fields(
+            max(0.0, min(usage.cpu, alloc.cpu)),
+            max(0.0, min(usage.memory, alloc.memory)),
+            max(0.0, min(usage.disk_bw, alloc.disk_bw)),
+            max(0.0, min(usage.net_bw, alloc.net_bw)),
+        )
 
     def scheduling_latency(self) -> float | None:
         """Seconds from submission to binding, if scheduled."""

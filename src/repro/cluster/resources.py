@@ -20,6 +20,14 @@ from typing import Iterator, Mapping
 #: Canonical resource dimension names, in controller order.
 RESOURCES: tuple[str, ...] = ("cpu", "memory", "disk_bw", "net_bw")
 
+# Module-level aliases used by the allocation-free arithmetic fast paths
+# below; ResourceVector construction and field writes dominate several
+# simulator hot loops (usage recording, scrape aggregation, node
+# accounting), so arithmetic avoids __init__'s float() coercions and the
+# per-dimension getattr/genexpr machinery entirely.
+_new = object.__new__
+_set = object.__setattr__
+
 
 class ResourceVector:
     """Immutable 4-dimensional resource quantity.
@@ -52,7 +60,9 @@ class ResourceVector:
 
     @classmethod
     def zero(cls) -> "ResourceVector":
-        """The all-zeros vector."""
+        """The all-zeros vector (shared instance; vectors are immutable)."""
+        if cls is ResourceVector:
+            return _ZERO
         return cls()
 
     @classmethod
@@ -87,28 +97,68 @@ class ResourceVector:
 
     # -- arithmetic ----------------------------------------------------------
 
+    @staticmethod
+    def _from_fields(
+        cpu: float, memory: float, disk_bw: float, net_bw: float
+    ) -> "ResourceVector":
+        """Fast constructor for values already known to be floats."""
+        vec = _new(ResourceVector)
+        _set(vec, "cpu", cpu)
+        _set(vec, "memory", memory)
+        _set(vec, "disk_bw", disk_bw)
+        _set(vec, "net_bw", net_bw)
+        return vec
+
     def _combine(self, other: "ResourceVector", op) -> "ResourceVector":
-        return ResourceVector(
-            *(op(getattr(self, n), getattr(other, n)) for n in RESOURCES)
+        return ResourceVector._from_fields(
+            op(self.cpu, other.cpu),
+            op(self.memory, other.memory),
+            op(self.disk_bw, other.disk_bw),
+            op(self.net_bw, other.net_bw),
         )
 
     def __add__(self, other: "ResourceVector") -> "ResourceVector":
-        return self._combine(other, lambda a, b: a + b)
+        return ResourceVector._from_fields(
+            self.cpu + other.cpu,
+            self.memory + other.memory,
+            self.disk_bw + other.disk_bw,
+            self.net_bw + other.net_bw,
+        )
 
     def __sub__(self, other: "ResourceVector") -> "ResourceVector":
-        return self._combine(other, lambda a, b: a - b)
+        return ResourceVector._from_fields(
+            self.cpu - other.cpu,
+            self.memory - other.memory,
+            self.disk_bw - other.disk_bw,
+            self.net_bw - other.net_bw,
+        )
 
     def __mul__(self, scalar: float) -> "ResourceVector":
-        return ResourceVector(*(v * scalar for v in self))
+        return ResourceVector._from_fields(
+            self.cpu * scalar,
+            self.memory * scalar,
+            self.disk_bw * scalar,
+            self.net_bw * scalar,
+        )
 
     __rmul__ = __mul__
 
     def __truediv__(self, scalar: float) -> "ResourceVector":
-        return ResourceVector(*(v / scalar for v in self))
+        return ResourceVector._from_fields(
+            self.cpu / scalar,
+            self.memory / scalar,
+            self.disk_bw / scalar,
+            self.net_bw / scalar,
+        )
 
     def elementwise_mul(self, other: "ResourceVector") -> "ResourceVector":
         """Hadamard product, e.g. scaling each dimension by its own factor."""
-        return self._combine(other, lambda a, b: a * b)
+        return ResourceVector._from_fields(
+            self.cpu * other.cpu,
+            self.memory * other.memory,
+            self.disk_bw * other.disk_bw,
+            self.net_bw * other.net_bw,
+        )
 
     def elementwise_min(self, other: "ResourceVector") -> "ResourceVector":
         return self._combine(other, min)
@@ -118,7 +168,15 @@ class ResourceVector:
 
     def clamp_nonnegative(self) -> "ResourceVector":
         """Replace negative components with 0."""
-        return ResourceVector(*(max(0.0, v) for v in self))
+        cpu, memory, disk_bw, net_bw = self.cpu, self.memory, self.disk_bw, self.net_bw
+        if cpu >= 0.0 and memory >= 0.0 and disk_bw >= 0.0 and net_bw >= 0.0:
+            return self
+        return ResourceVector._from_fields(
+            cpu if cpu > 0.0 else 0.0,
+            memory if memory > 0.0 else 0.0,
+            disk_bw if disk_bw > 0.0 else 0.0,
+            net_bw if net_bw > 0.0 else 0.0,
+        )
 
     def clamp(self, lo: "ResourceVector", hi: "ResourceVector") -> "ResourceVector":
         """Clamp each dimension into ``[lo, hi]``."""
@@ -146,15 +204,23 @@ class ResourceVector:
 
     def fits_within(self, other: "ResourceVector", *, tolerance: float = 1e-9) -> bool:
         """True when every dimension is ≤ the other's (within tolerance)."""
-        return all(
-            getattr(self, n) <= getattr(other, n) + tolerance for n in RESOURCES
+        return (
+            self.cpu <= other.cpu + tolerance
+            and self.memory <= other.memory + tolerance
+            and self.disk_bw <= other.disk_bw + tolerance
+            and self.net_bw <= other.net_bw + tolerance
         )
 
     def is_zero(self, *, tolerance: float = 1e-12) -> bool:
         return all(abs(v) <= tolerance for v in self)
 
     def any_negative(self, *, tolerance: float = 1e-9) -> bool:
-        return any(v < -tolerance for v in self)
+        return (
+            self.cpu < -tolerance
+            or self.memory < -tolerance
+            or self.disk_bw < -tolerance
+            or self.net_bw < -tolerance
+        )
 
     def total_fraction_of(self, capacity: "ResourceVector") -> dict[str, float]:
         """Per-dimension fraction of ``capacity`` (0 where capacity is 0)."""
@@ -192,3 +258,7 @@ class ResourceVector:
         return all(
             abs(getattr(self, n) - getattr(other, n)) <= tolerance for n in RESOURCES
         )
+
+
+#: Shared all-zeros vector returned by :meth:`ResourceVector.zero`.
+_ZERO = ResourceVector()

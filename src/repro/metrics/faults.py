@@ -112,6 +112,27 @@ class MetricsFaultInjector:
 
     # -- filter interface (called by the collector) --------------------------
 
+    def distorts_samples(self, now: float) -> bool:
+        """Whether any per-sample fault could fire at ``now``.
+
+        The collector checks this once per scrape round and skips the
+        per-sample :meth:`filter` entirely on a quiescent pipeline — the
+        overwhelmingly common case. Safe for seeded determinism: when
+        this returns False, :meth:`filter` would return every value
+        unchanged and draw no RNG.
+        """
+        if self.outlier_probability > 0.0:
+            return True
+        if now < self._noise_window[0] and self._noise_window[1] > 0.0:
+            return True
+        for until in self._blackouts.values():
+            if now < until:
+                return True
+        for until in self._frozen.values():
+            if now < until:
+                return True
+        return False
+
     def should_drop_scrape(self, now: float) -> bool:
         until, prob = self._drop_window
         window_prob = prob if now < until else 0.0

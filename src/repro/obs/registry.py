@@ -135,7 +135,11 @@ class Histogram:
                 lower = self.bounds[i - 1] if i > 0 else 0.0
                 upper = self.bounds[i]
                 fraction = (rank - previous) / bucket_count
-                return lower + max(0.0, min(1.0, fraction)) * (upper - lower)
+                if fraction < 0.0:
+                    fraction = 0.0
+                elif fraction > 1.0:
+                    fraction = 1.0
+                return lower + fraction * (upper - lower)
         return self.bounds[-1]  # pragma: no cover - rank <= count always
 
 
@@ -153,12 +157,26 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        # Split by shape at registration so the per-scrape flatten loop
+        # needs no isinstance dispatch (it runs every scrape interval
+        # for the whole run — the telemetry overhead gate counts every
+        # call it makes).
+        self._scalars: list[Counter | Gauge] = []
+        self._histograms: list[Histogram] = []
+        # name -> (count at export time, flattened quantile samples).
+        # Quantiles depend only on bucket counts, so while ``count`` is
+        # unchanged the cached export is exact.
+        self._hist_export: dict[str, tuple[int, dict[str, float]]] = {}
 
     def _register(self, instrument):
         name = validate_name(instrument.name)
         if name in self._instruments:
             raise ValueError(f"metric {name!r} already registered")
         self._instruments[name] = instrument
+        if isinstance(instrument, Histogram):
+            self._histograms.append(instrument)
+        else:
+            self._scalars.append(instrument)
         return instrument
 
     def counter(self, name: str) -> Counter:
@@ -185,17 +203,25 @@ class MetricsRegistry:
 
     def sample_metrics(self, now: float) -> Mapping[str, float]:
         out: dict[str, float] = {}
-        for name, inst in self._instruments.items():
-            if isinstance(inst, Histogram):
-                out[f"{name}/count"] = float(inst.count)
-                out[f"{name}/sum"] = inst.sum
-                if inst.count:
+        for inst in self._scalars:
+            out[inst.name] = inst.value
+        cache = self._hist_export
+        for inst in self._histograms:
+            name = inst.name
+            count = inst.count
+            out[f"{name}/count"] = count + 0.0
+            out[f"{name}/sum"] = inst.sum
+            if count:
+                if name in cache and cache[name][0] == count:
+                    quantiles = cache[name][1]
+                else:
+                    quantiles = {}
                     for q in self.EXPORTED_QUANTILES:
                         value = inst.quantile(q)
                         if value is not None:
-                            out[f"{name}/p{q}"] = value
-            else:
-                out[name] = inst.value
+                            quantiles[f"{name}/p{q}"] = value
+                    cache[name] = (count, quantiles)
+                out.update(quantiles)
         return out
 
 

@@ -57,6 +57,8 @@ class Telemetry:
         self.step_downs = r.counter("step_downs_total")
         # -- engine -----------------------------------------------------------
         self.engine_events = r.counter("engine_events_total")
+        # Previous scrape's full export, for delta suppression (below).
+        self._last_export: dict[str, float] | None = None
 
     @property
     def trace(self):
@@ -72,4 +74,19 @@ class Telemetry:
         # time rather than incremented per occurrence — observing every
         # engine event from telemetry would cost a call per event.
         self.engine_events.value = float(self.engine.events_executed)
-        return self.registry.sample_metrics(now)
+        full = self.registry.sample_metrics(now)
+        last = self._last_export
+        self._last_export = full
+        if last is None:
+            # First scrape exports everything so every ctrl/* series
+            # exists (at zero) from the start of the run.
+            return full
+        # Delta suppression: a sample is appended only when the value
+        # moved since the previous scrape. Idle instruments (most
+        # counters, most of the time) cost nothing per scrape, which is
+        # what keeps the enabled-telemetry call overhead inside its
+        # budget; ``latest()`` reads are unaffected because step
+        # interpolation carries the last value forward.
+        return {
+            k: v for k, v in full.items() if k not in last or last[k] != v
+        }

@@ -212,32 +212,39 @@ class Tracer:
         self._stack: list[Span] = []
         self._next_id = 1
 
-    def _resolve_parent(self, parent) -> int | None:
-        if parent is not None:
-            return parent.id if isinstance(parent, Span) else int(parent)
-        return self._stack[-1].id if self._stack else None
-
     def current_id(self) -> int | None:
         """Id of the innermost open span, or None outside any span."""
         return self._stack[-1].id if self._stack else None
 
+    # begin/instant inline parent resolution, span registration, and the
+    # engine-clock read (``_now`` is the attribute behind ``Engine.now``):
+    # span creation sits on the telemetry-enabled hot path and the
+    # overhead gate counts every function call these methods make.
+
     def begin(self, name: str, cat: str = "", parent=None, **args) -> Span:
         """Open a span; pair with :meth:`end` (or use :meth:`span`)."""
+        if parent is not None:
+            parent_id = parent.id if isinstance(parent, Span) else int(parent)
+        else:
+            stack = self._stack
+            parent_id = stack[-1].id if stack else None
         span = Span(
             self._next_id,
             name,
             cat,
-            self.engine.now,
-            parent_id=self._resolve_parent(parent),
+            self.engine._now,
+            parent_id=parent_id,
             args=args,
         )
         self._next_id += 1
-        self.trace.add(span)
+        trace = self.trace
+        trace.spans.append(span)
+        trace._by_id[span.id] = span
         self._stack.append(span)
         return span
 
     def end(self, span: Span) -> None:
-        span.end = self.engine.now
+        span.end = self.engine._now
         if self._stack and self._stack[-1] is span:
             self._stack.pop()
         elif span in self._stack:  # pragma: no cover - defensive
@@ -253,14 +260,21 @@ class Tracer:
 
     def instant(self, name: str, cat: str = "", parent=None, **args) -> Span:
         """Record a zero-length marker span (elections, fences, drops)."""
+        if parent is not None:
+            parent_id = parent.id if isinstance(parent, Span) else int(parent)
+        else:
+            stack = self._stack
+            parent_id = stack[-1].id if stack else None
         span = Span(
             self._next_id,
             name,
             cat,
-            self.engine.now,
-            parent_id=self._resolve_parent(parent),
+            self.engine._now,
+            parent_id=parent_id,
             args=args,
         )
         self._next_id += 1
-        self.trace.add(span)
+        trace = self.trace
+        trace.spans.append(span)
+        trace._by_id[span.id] = span
         return span

@@ -85,6 +85,15 @@ class ConvergedScheduler(SchedulerBase):
         self.gangs_admitted = 0
         self.gangs_deferred = 0
         self.preemptions = 0
+        # Per-cycle score cache keyed on (node.name, node.generation,
+        # pod score inputs). Node usage — the only score input the
+        # generation counter does not track — can only change between
+        # engine events, never inside one scheduling cycle, so entries
+        # are valid for the duration of a cycle and the cache is cleared
+        # on entry to schedule_cycle. Bit-identical by construction: a
+        # hit returns the float the scorer would have recomputed.
+        self._score_cache: dict[tuple, float] = {}
+        self.score_cache_hits = 0
 
     def _apply_plan(self, plan) -> None:
         for victim in plan.victims:
@@ -97,6 +106,7 @@ class ConvergedScheduler(SchedulerBase):
     # -- cycle -------------------------------------------------------------------
 
     def schedule_cycle(self) -> None:
+        self._score_cache.clear()
         pending = self.api.pending_pods()
         gangs: dict[str, list[Pod]] = {}
         singles: list[Pod] = []
@@ -196,11 +206,46 @@ class ConvergedScheduler(SchedulerBase):
         score -= self.interference_weight * interference_penalty(node, pod)
         return score
 
+    @staticmethod
+    def _pod_score_key(pod: Pod) -> tuple:
+        """Everything :meth:`score` reads from the pod, as a hashable key.
+
+        Two pending pods with equal keys score identically on any node,
+        so replicas of one app share cache entries within a cycle.
+        """
+        spec = pod.spec
+        alloc = pod.allocation
+        return (
+            spec.workload_class,
+            spec.labels.get("dataset"),
+            tuple(sorted(spec.node_preference.items())),
+            alloc.cpu,
+            alloc.memory,
+            alloc.disk_bw,
+            alloc.net_bw,
+        )
+
     def select_node(self, pod: Pod) -> Node | None:
         feasible = self.feasible_nodes(pod)
         if not feasible:
             return None
-        return max(feasible, key=lambda n: (self.score(n, pod), n.name))
+        cache = self._score_cache
+        pod_key = self._pod_score_key(pod)
+        best = None
+        best_rank: tuple[float, str] | None = None
+        for node in feasible:
+            key = (node.name, node.generation, pod_key)
+            score = cache.get(key)
+            if score is None:
+                score = self.score(node, pod)
+                cache[key] = score
+            else:
+                self.score_cache_hits += 1
+            rank = (score, node.name)
+            if best_rank is None or rank > best_rank:
+                best = node
+                best_rank = rank
+        return best
 
 
 class SiloedScheduler(SchedulerBase):

@@ -26,21 +26,37 @@ class EventHandle:
     """Handle to a scheduled event, allowing cancellation.
 
     Cancellation is lazy: the heap entry stays in place but is skipped when
-    popped. ``cancelled`` and ``executed`` let callers inspect state.
+    popped. ``cancelled`` and ``executed`` let callers inspect state. The
+    owning engine keeps a live-event counter and a cancelled-entry counter
+    so :meth:`Engine.pending_count` is O(1) and heavy cancellation churn
+    (watchdog feeds, retry backoff) triggers heap compaction instead of
+    unbounded growth.
     """
 
-    __slots__ = ("time", "priority", "callback", "cancelled", "executed")
+    __slots__ = ("time", "priority", "callback", "cancelled", "executed",
+                 "_engine")
 
-    def __init__(self, time: float, priority: int, callback: Callable[[], None]):
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        callback: Callable[[], None],
+        engine: "Engine | None" = None,
+    ):
         self.time = time
         self.priority = priority
         self.callback = callback
         self.cancelled = False
         self.executed = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from running. Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if not self.executed and self._engine is not None:
+            self._engine._note_cancellation()
 
     @property
     def pending(self) -> bool:
@@ -134,12 +150,47 @@ class Engine:
         Initial simulated time (seconds). Defaults to 0.
     """
 
+    #: Lazy-cancel compaction thresholds: rebuild the heap once at least
+    #: ``_COMPACT_MIN`` cancelled entries linger AND they outnumber the
+    #: live ones. Amortized O(1) per cancellation, bounds the heap at
+    #: ~2× the live event count.
+    _COMPACT_MIN = 64
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._heap: list[tuple[float, int, int, EventHandle]] = []
         self._counter = itertools.count()
         self._running = False
         self.events_executed = 0
+        # Live (scheduled, neither executed nor cancelled) events, kept
+        # exact so pending_count() is O(1).
+        self._live = 0
+        # Cancelled entries still sitting in the heap (lazy cancellation).
+        self._cancelled_in_heap = 0
+        #: Number of lazy-cancel heap compactions performed (observability).
+        self.heap_compactions = 0
+
+    def _note_cancellation(self) -> None:
+        """Bookkeeping hook called by :meth:`EventHandle.cancel`."""
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap >= self._COMPACT_MIN
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Safe for determinism: heap entries are totally ordered by their
+        unique ``(time, priority, seq)`` key, so any valid heap over the
+        surviving entries pops in the identical order.
+        """
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self.heap_compactions += 1
 
     @property
     def now(self) -> float:
@@ -173,8 +224,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at t={time!r}, which is before now={self._now!r}"
             )
-        handle = EventHandle(time, priority, callback)
+        handle = EventHandle(time, priority, callback, self)
         heapq.heappush(self._heap, (time, priority, next(self._counter), handle))
+        self._live += 1
         return handle
 
     def every(
@@ -195,6 +247,9 @@ class Engine:
             raise SimulationError(f"periodic interval must be positive, got {interval!r}")
         periodic = PeriodicHandle(self, interval)
         first = self._now + interval if start is None else start
+        # Rescheduling is inlined (no schedule_at frame or validity check
+        # per firing): the next deadline is always now + interval ≥ now.
+        heap, counter = self._heap, self._counter
 
         def fire() -> None:
             if periodic.cancelled:
@@ -202,31 +257,38 @@ class Engine:
             periodic.fired += 1
             callback()
             if not periodic.cancelled:
-                periodic._current = self.schedule_at(
-                    self._now + interval, fire, priority=priority
-                )
+                handle = EventHandle(self._now + interval, priority, fire, self)
+                heapq.heappush(heap, (handle.time, priority, next(counter), handle))
+                self._live += 1
+                periodic._current = handle
 
         periodic._current = self.schedule_at(first, fire, priority=priority)
         return periodic
 
     def peek(self) -> float | None:
         """Time of the next pending event, or None if the heap is empty."""
-        while self._heap:
-            time, _priority, _seq, handle = self._heap[0]
-            if handle.cancelled:
-                heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[3].cancelled:
+                heapq.heappop(heap)
+                self._cancelled_in_heap -= 1
                 continue
-            return time
+            return entry[0]
         return None
 
     def step(self) -> bool:
         """Execute the next pending event. Returns False if none remain."""
-        while self._heap:
-            time, _priority, _seq, handle = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _priority, _seq, handle = pop(heap)
             if handle.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = time
             handle.executed = True
+            self._live -= 1
             handle.callback()
             self.events_executed += 1
             return True
@@ -277,5 +339,9 @@ class Engine:
         self._running = False
 
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still in the heap."""
-        return sum(1 for *_xs, handle in self._heap if handle.pending)
+        """Number of not-yet-cancelled events still in the heap. O(1)."""
+        return self._live
+
+    def heap_size(self) -> int:
+        """Raw heap length including lazily-cancelled entries (testing)."""
+        return len(self._heap)

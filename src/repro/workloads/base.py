@@ -104,22 +104,38 @@ class Application:
         return f"app/{self.name}"
 
     def sample_metrics(self, now: float) -> Mapping[str, float]:
-        """Default gauges every app exports; subclasses extend."""
+        """Default gauges every app exports; subclasses extend.
+
+        Allocation totals accumulate per-dimension scalars in the same
+        left-to-right order the vector sum used, so seeded metric streams
+        are unchanged while skipping per-pod vector allocations.
+        """
         running = self.running_pods()
-        alloc = ResourceVector.zero()
-        usage = ResourceVector.zero()
+        a_cpu = a_mem = a_disk = a_net = 0.0
+        u_cpu = u_mem = u_disk = u_net = 0.0
         for pod in running:
-            alloc = alloc + pod.allocation
-            usage = usage + pod.usage
-        metrics: dict[str, float] = {
+            alloc = pod.allocation
+            a_cpu += alloc.cpu
+            a_mem += alloc.memory
+            a_disk += alloc.disk_bw
+            a_net += alloc.net_bw
+            usage = pod.usage
+            u_cpu += usage.cpu
+            u_mem += usage.memory
+            u_disk += usage.disk_bw
+            u_net += usage.net_bw
+        return {
             "replicas": float(len(self._pod_names)),
             "running_replicas": float(len(running)),
+            "alloc/cpu": a_cpu,
+            "alloc/memory": a_mem,
+            "alloc/disk_bw": a_disk,
+            "alloc/net_bw": a_net,
+            "usage/cpu": u_cpu,
+            "usage/memory": u_mem,
+            "usage/disk_bw": u_disk,
+            "usage/net_bw": u_net,
         }
-        for resource, value in alloc.as_dict().items():
-            metrics[f"alloc/{resource}"] = value
-        for resource, value in usage.as_dict().items():
-            metrics[f"usage/{resource}"] = value
-        return metrics
 
     # -- lifecycle -----------------------------------------------------------------
 

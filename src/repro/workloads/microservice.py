@@ -60,13 +60,23 @@ class ServiceDemands:
 
     def capacity(self, allocation: ResourceVector) -> tuple[float, str]:
         """Max sustainable request rate under ``allocation``, and which
-        resource imposes it (ignoring memory, handled via pressure)."""
-        caps: list[tuple[float, str]] = [(allocation.cpu / self.cpu_seconds, "cpu")]
+        resource imposes it (ignoring memory, handled via pressure).
+
+        Strict ``<`` comparisons keep first-wins tie-breaking in the
+        cpu → disk_bw → net_bw order without building candidate lists —
+        this runs once per replica per model tick.
+        """
+        cap = allocation.cpu / self.cpu_seconds
+        which = "cpu"
         if self.disk_mb > 0:
-            caps.append((allocation.disk_bw / self.disk_mb, "disk_bw"))
+            disk_cap = allocation.disk_bw / self.disk_mb
+            if disk_cap < cap:
+                cap, which = disk_cap, "disk_bw"
         if self.net_mb > 0:
-            caps.append((allocation.net_bw / self.net_mb, "net_bw"))
-        return min(caps, key=lambda c: c[0])
+            net_cap = allocation.net_bw / self.net_mb
+            if net_cap < cap:
+                cap, which = net_cap, "net_bw"
+        return cap, which
 
 
 @dataclass(frozen=True)
@@ -271,11 +281,11 @@ class Microservice(Application):
 
         served_rate = served / dt
         pod.record_usage(
-            ResourceVector(
-                cpu=served_rate * demands.cpu_seconds,
-                memory=min(required_mem, pod.allocation.memory),
-                disk_bw=served_rate * demands.disk_mb,
-                net_bw=served_rate * demands.net_mb,
+            ResourceVector._from_fields(
+                served_rate * demands.cpu_seconds,
+                min(required_mem, pod.allocation.memory),
+                served_rate * demands.disk_mb,
+                served_rate * demands.net_mb,
             )
         )
         return wait, served, dropped, bottleneck

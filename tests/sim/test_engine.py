@@ -198,6 +198,53 @@ class TestPeriodic:
         assert engine.events_executed == 5
 
 
+class TestHeapCompaction:
+    def test_cancel_churn_compacts_heap(self):
+        # Lazy cancellation must not let the heap grow without bound:
+        # once cancelled entries dominate, the engine rebuilds the heap.
+        engine = Engine()
+        keep = []
+        for round_ in range(10):
+            handles = [
+                engine.schedule(1000.0 + round_, lambda: None)
+                for _ in range(100)
+            ]
+            keep.append(handles.pop())
+            for handle in handles:
+                handle.cancel()
+        assert engine.heap_compactions > 0
+        assert engine.pending_count() == len(keep)
+        # Bounded at ~2× live: far below the 1000 entries ever scheduled.
+        assert engine.heap_size() <= 2 * engine.pending_count() + Engine._COMPACT_MIN
+
+    def test_compaction_preserves_execution_order(self):
+        engine = Engine()
+        order = []
+        survivors = []
+        for i in range(200):
+            handle = engine.schedule(
+                float(i + 1), lambda i=i: order.append(i)
+            )
+            if i % 10 == 0:
+                survivors.append(i)
+            else:
+                handle.cancel()
+        assert engine.heap_compactions > 0
+        engine.run()
+        assert order == survivors
+        assert engine.pending_count() == 0
+
+    def test_pending_count_is_exact_under_churn(self):
+        engine = Engine()
+        handles = [engine.schedule(5.0, lambda: None) for _ in range(300)]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert engine.pending_count() == 150
+        engine.run()
+        assert engine.pending_count() == 0
+        assert engine.events_executed == 150
+
+
 class TestWatchdog:
     def test_fires_at_timeout_without_feed(self):
         engine = Engine()
