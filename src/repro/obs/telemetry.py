@@ -87,6 +87,12 @@ class Telemetry:
         # what keeps the enabled-telemetry call overhead inside its
         # budget; ``latest()`` reads are unaffected because step
         # interpolation carries the last value forward.
+        #
+        # Consumer contract: ctrl/* series are change-point encoded as a
+        # result. Only latest()/step-interpolated reads are meaningful;
+        # windowed aggregates (mean_over/sum_over/percentile_over) would
+        # weight change-points instead of uniform scrape ticks and must
+        # not be used on ctrl/* series (see docs/performance.md).
         return {
             k: v for k, v in full.items() if k not in last or last[k] != v
         }

@@ -86,12 +86,17 @@ class ConvergedScheduler(SchedulerBase):
         self.gangs_deferred = 0
         self.preemptions = 0
         # Per-cycle score cache keyed on (node.name, node.generation,
-        # pod score inputs). Node usage — the only score input the
-        # generation counter does not track — can only change between
-        # engine events, never inside one scheduling cycle, so entries
-        # are valid for the duration of a cycle and the cache is cleared
-        # on entry to schedule_cycle. Bit-identical by construction: a
-        # hit returns the float the scorer would have recomputed.
+        # pod score inputs). Two score inputs are NOT tracked by the
+        # generation counter and rely on being per-cycle invariants:
+        # node usage, and object-store replica placement (the
+        # locality_fraction read in _locality_bonus). Both can only
+        # change between engine events, never inside one scheduling
+        # cycle, so entries are valid for the duration of a cycle and
+        # the cache is cleared on entry to schedule_cycle. If store
+        # replication is ever triggered mid-cycle (e.g. from a bind),
+        # a store generation/epoch must be folded into the cache key.
+        # Bit-identical by construction: a hit returns the float the
+        # scorer would have recomputed.
         self._score_cache: dict[tuple, float] = {}
         self.score_cache_hits = 0
 

@@ -185,9 +185,11 @@ class Engine:
 
         Safe for determinism: heap entries are totally ordered by their
         unique ``(time, priority, seq)`` key, so any valid heap over the
-        surviving entries pops in the identical order.
+        surviving entries pops in the identical order. The rebuild is done
+        in place (slice assignment, not rebinding) so outstanding
+        references to the heap list stay valid.
         """
-        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        self._heap[:] = [entry for entry in self._heap if not entry[3].cancelled]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
         self.heap_compactions += 1
@@ -249,7 +251,9 @@ class Engine:
         first = self._now + interval if start is None else start
         # Rescheduling is inlined (no schedule_at frame or validity check
         # per firing): the next deadline is always now + interval ≥ now.
-        heap, counter = self._heap, self._counter
+        # Push onto self._heap — never a captured alias — so the closure
+        # survives any heap rebuild done by _compact().
+        counter = self._counter
 
         def fire() -> None:
             if periodic.cancelled:
@@ -258,7 +262,9 @@ class Engine:
             callback()
             if not periodic.cancelled:
                 handle = EventHandle(self._now + interval, priority, fire, self)
-                heapq.heappush(heap, (handle.time, priority, next(counter), handle))
+                heapq.heappush(
+                    self._heap, (handle.time, priority, next(counter), handle)
+                )
                 self._live += 1
                 periodic._current = handle
 

@@ -234,6 +234,45 @@ class TestHeapCompaction:
         assert order == survivors
         assert engine.pending_count() == 0
 
+    def test_periodic_survives_compaction(self):
+        # Regression: every()'s reschedule closure must keep pushing onto
+        # the engine's live heap even after _compact() rebuilds it. With a
+        # stale alias the periodic silently stopped after one firing and
+        # pending_count() stayed wrong forever.
+        engine = Engine()
+        ticks = []
+        engine.every(1.0, lambda: ticks.append(engine.now))
+
+        # Cancellation churn before t=1 crosses the compaction threshold.
+        handles = [engine.schedule(0.5, lambda: None) for _ in range(200)]
+        for handle in handles:
+            handle.cancel()
+        assert engine.heap_compactions > 0
+
+        engine.run_until(10.0)
+        assert ticks == [float(t) for t in range(1, 11)]
+        # The next firing (t=11) is the only live event left.
+        assert engine.pending_count() == 1
+        assert engine.heap_size() >= 1
+
+    def test_periodic_survives_mid_run_compaction(self):
+        # Same regression, but with churn generated from inside callbacks
+        # between periodic firings (the watchdog-feed/retry-backoff shape).
+        engine = Engine()
+        ticks = []
+        engine.every(1.0, lambda: ticks.append(engine.now))
+
+        def churn() -> None:
+            for handle in [engine.schedule(0.3, lambda: None) for _ in range(80)]:
+                handle.cancel()
+
+        for t in (0.5, 2.5, 4.5):
+            engine.schedule(t, churn)
+        engine.run_until(6.0)
+        assert engine.heap_compactions >= 3
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        assert engine.pending_count() == 1
+
     def test_pending_count_is_exact_under_churn(self):
         engine = Engine()
         handles = [engine.schedule(5.0, lambda: None) for _ in range(300)]
