@@ -177,7 +177,46 @@ def cmd_bench(args: argparse.Namespace) -> int:
         argv.extend(["--only", args.only])
     if args.list:
         argv.append("--list")
+    if args.seed is not None:
+        argv.extend(["--seed", str(args.seed)])
     return runner.main(argv)
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify import fuzzer
+
+    if args.replay is not None:
+        result = fuzzer.replay(
+            args.replay, seed=args.seed, every=args.every
+        )
+        spec = result.spec
+        print(
+            f"replayed {args.replay}: seed={spec.seed} "
+            f"horizon={spec.horizon:g}s nodes={spec.nodes} "
+            f"workloads={len(spec.workloads)} chaos={len(spec.chaos)} — "
+            f"{result.events_executed} events, {result.checks_run} checks"
+        )
+        if result.ok:
+            print("no invariant violations")
+            return 0
+        for violation in result.violations:
+            print(f"VIOLATION {violation}")
+        return 1
+
+    summary = fuzzer.fuzz(
+        args.episodes,
+        args.seed if args.seed is not None else 0,
+        every=args.every,
+        out_dir=args.out,
+        differential=args.differential,
+        log=print,
+    )
+    print(
+        f"fuzz: {summary.episodes} episodes, "
+        f"{len(summary.failures)} failure(s) "
+        f"(run seed {summary.run_seed})"
+    )
+    return 0 if summary.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -233,7 +272,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated experiment names (default: all)")
     bench.add_argument("--list", action="store_true",
                        help="list registered experiments and exit")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="override every experiment's run seed (budget "
+                            "gates are skipped: they are calibrated at the "
+                            "default seeds; see docs/testing.md)")
     bench.set_defaults(func=cmd_bench)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="run seeded fuzz episodes under the invariant checker; "
+             "violations shrink to a minimal JSON repro (see docs/testing.md)",
+    )
+    fuzz.add_argument("--episodes", type=int, default=25,
+                      help="number of scenarios to generate and run")
+    fuzz.add_argument("--seed", type=int, default=None,
+                      help="run seed (scenario stream root); with --replay, "
+                           "overrides the repro file's episode seed")
+    fuzz.add_argument("--out", default="fuzz-repros",
+                      help="directory for shrunken repro JSON files")
+    fuzz.add_argument("--every", type=int, default=1,
+                      help="check invariants every N-th cycle boundary")
+    fuzz.add_argument("--replay", metavar="FILE", default=None,
+                      help="re-run one repro JSON file instead of fuzzing")
+    fuzz.add_argument("--differential", action="store_true",
+                      help="also run each clean episode twice to assert "
+                           "telemetry-on/off decision bit-identity")
+    fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -14,7 +14,7 @@ from typing import Mapping, Protocol
 
 from repro.cluster.api import ClusterAPI
 from repro.cluster.resources import RESOURCES
-from repro.metrics.timeseries import TimeSeries
+from repro.metrics.timeseries import ChangePointSeries, TimeSeries
 from repro.sim.engine import Engine, PeriodicHandle
 
 
@@ -247,7 +247,13 @@ class MetricsCollector:
                 if name in series_map:
                     series = series_map[name]
                 else:
-                    series = series_map[name] = TimeSeries(maxlen=maxlen)
+                    # Internal sources delta-suppress their exports, so
+                    # their series hold change points, not uniform
+                    # ticks; ChangePointSeries rejects windowed
+                    # aggregates that would misread that encoding.
+                    series = series_map[name] = ChangePointSeries(
+                        maxlen=maxlen
+                    )
                 series.append(now, value)
 
     # -- convenience queries ------------------------------------------------------

@@ -199,3 +199,59 @@ class TimeSeries:
     def to_lists(self) -> tuple[list[float], list[float]]:
         """Copies of (times, values), e.g. for plotting or export."""
         return self._times[self._start:], self._values[self._start:]
+
+
+class ChangePointQueryError(TypeError):
+    """A windowed aggregate was read from a change-point-encoded series."""
+
+
+class ChangePointSeries(TimeSeries):
+    """A series whose samples are change points, not uniform ticks.
+
+    Telemetry ``ctrl/*`` series are delta-suppressed at scrape time (see
+    :meth:`repro.obs.telemetry.Telemetry.sample_metrics`): a sample is
+    appended only when the value moved. Step reads (``last``,
+    ``value_at``, ``window``, ``integrate``) stay exact because step
+    interpolation carries the last value forward — but windowed
+    aggregates would weight change points instead of uniform scrape
+    ticks and silently return garbage. This subclass turns that
+    contract violation into an immediate :class:`ChangePointQueryError`.
+    """
+
+    _FORBIDDEN = (
+        "mean_over", "max_over", "min_over", "percentile_over",
+        "sum_over", "count_over", "rate_over", "ewma",
+    )
+
+    def _refuse(self, name: str):
+        raise ChangePointQueryError(
+            f"{name}() is not meaningful on a change-point-encoded series: "
+            "samples mark value *changes*, not uniform scrape ticks, so "
+            "windowed aggregates would be weighted by change frequency. "
+            "Use last()/value_at()/window()/integrate() instead "
+            "(see docs/performance.md)."
+        )
+
+    def mean_over(self, now: float, span: float) -> float | None:
+        self._refuse("mean_over")
+
+    def max_over(self, now: float, span: float) -> float | None:
+        self._refuse("max_over")
+
+    def min_over(self, now: float, span: float) -> float | None:
+        self._refuse("min_over")
+
+    def percentile_over(self, now: float, span: float, q: float) -> float | None:
+        self._refuse("percentile_over")
+
+    def sum_over(self, now: float, span: float) -> float:
+        self._refuse("sum_over")
+
+    def count_over(self, now: float, span: float) -> int:
+        self._refuse("count_over")
+
+    def rate_over(self, now: float, span: float) -> float | None:
+        self._refuse("rate_over")
+
+    def ewma(self, alpha: float, *, count: int | None = None) -> float | None:
+        self._refuse("ewma")

@@ -144,6 +144,20 @@ class PlatformConfig:
     #: registry. Observation-only: seeded runs are bit-identical with
     #: telemetry on or off.
     telemetry: bool = False
+    # -- correctness harness (repro.verify) ----------------------------------
+    #: Attach the cluster-wide invariant checker to the engine's cycle
+    #: hook. Observation-only: seeded runs are bit-identical with the
+    #: checker on or off; violations are recorded on
+    #: ``platform.checker.violations``.
+    verify: bool = False
+    #: Check every N-th cycle boundary when ``verify`` is set. The
+    #: registry's invariants detect *persistent* corruption (a
+    #: double-bind or allocation drift stays wrong until released), so a
+    #: stride trades detection latency for overhead; the default holds
+    #: the checker within a ~5% profiled-call budget on the benchmark
+    #: scenarios (tests/verify/test_checker.py gates this). The fuzzer
+    #: overrides to 1 on its short episodes.
+    verify_every: int = 32
 
     def __post_init__(self) -> None:
         for name in (
@@ -164,3 +178,5 @@ class PlatformConfig:
             raise ValueError("snapshot_interval must be positive")
         if self.fsync_latency < 0:
             raise ValueError("fsync_latency must be non-negative")
+        if self.verify_every < 1:
+            raise ValueError("verify_every must be ≥ 1")

@@ -198,6 +198,15 @@ class EvolvePlatform:
         self.telemetry: Telemetry | None = None
         if self.config.telemetry:
             self._enable_telemetry()
+        self.checker = None
+        if self.config.verify:
+            # Imported lazily: repro.verify imports cluster/control/sim
+            # modules, and a module-level import would be cyclic.
+            from repro.verify.invariants import InvariantChecker
+
+            self.checker = InvariantChecker.attach(
+                self, every=self.config.verify_every
+            )
         self._started = False
         self._run_until = 0.0
 

@@ -69,6 +69,7 @@ class ConvergedScheduler(SchedulerBase):
         preemption: bool = False,
         packing: str = "spread",
         zone_aware_gangs: bool = True,
+        score_cache: bool = True,
     ):
         if packing not in ("spread", "consolidate"):
             raise ValueError(f"unknown packing mode {packing!r}")
@@ -97,6 +98,9 @@ class ConvergedScheduler(SchedulerBase):
         # a store generation/epoch must be folded into the cache key.
         # Bit-identical by construction: a hit returns the float the
         # scorer would have recomputed.
+        # score_cache=False recomputes every score — the reference mode
+        # the differential test in tests/verify compares against.
+        self.score_cache_enabled = score_cache
         self._score_cache: dict[tuple, float] = {}
         self.score_cache_hits = 0
 
@@ -234,18 +238,21 @@ class ConvergedScheduler(SchedulerBase):
         feasible = self.feasible_nodes(pod)
         if not feasible:
             return None
-        cache = self._score_cache
+        cache = self._score_cache if self.score_cache_enabled else None
         pod_key = self._pod_score_key(pod)
         best = None
         best_rank: tuple[float, str] | None = None
         for node in feasible:
-            key = (node.name, node.generation, pod_key)
-            score = cache.get(key)
-            if score is None:
+            if cache is None:
                 score = self.score(node, pod)
-                cache[key] = score
             else:
-                self.score_cache_hits += 1
+                key = (node.name, node.generation, pod_key)
+                score = cache.get(key)
+                if score is None:
+                    score = self.score(node, pod)
+                    cache[key] = score
+                else:
+                    self.score_cache_hits += 1
             rank = (score, node.name)
             if best_rank is None or rank > best_rank:
                 best = node

@@ -169,6 +169,10 @@ class Engine:
         self._cancelled_in_heap = 0
         #: Number of lazy-cancel heap compactions performed (observability).
         self.heap_compactions = 0
+        # Observer hooks invoked at every timestamp boundary (see
+        # add_cycle_hook). Empty-list truthiness is the only cost on the
+        # hot path when nobody is watching.
+        self._cycle_hooks: list[Callable[[], None]] = []
 
     def _note_cancellation(self) -> None:
         """Bookkeeping hook called by :meth:`EventHandle.cancel`."""
@@ -283,16 +287,69 @@ class Engine:
             return entry[0]
         return None
 
+    def add_cycle_hook(self, hook: Callable[[], None]) -> None:
+        """Register an observer called at every timestamp boundary.
+
+        Hooks run just before the engine advances ``now`` to a strictly
+        later timestamp — i.e. when every event at the current time has
+        executed and the cluster is quiescent. They are the checkpoint
+        used by the invariant checker (:mod:`repro.verify`).
+
+        Hooks MUST be read-only with respect to the simulation: no
+        scheduling, no cancellation, no RNG draws. A hook that mutates
+        the heap mid-step has undefined behaviour; observation-only
+        hooks keep seeded runs bit-identical with hooks on or off.
+        """
+        self._cycle_hooks.append(hook)
+
+    def remove_cycle_hook(self, hook: Callable[[], None]) -> None:
+        """Unregister a cycle hook; unknown hooks are ignored."""
+        try:
+            self._cycle_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def audit_heap(self) -> tuple[int, int]:
+        """Count (live, cancelled) entries actually present in the heap.
+
+        O(heap) introspection for integrity checks: the live count must
+        equal :meth:`pending_count` and the cancelled count must equal
+        the lazy-cancellation counter. A mismatch means an event was
+        pushed onto a stale heap alias (lost across a compaction) or the
+        bookkeeping drifted.
+        """
+        live = 0
+        cancelled = 0
+        for entry in self._heap:
+            if entry[3].cancelled:
+                cancelled += 1
+            else:
+                live += 1
+        return live, cancelled
+
+    @property
+    def cancelled_in_heap(self) -> int:
+        """Cancelled entries the heap still carries (lazy cancellation)."""
+        return self._cancelled_in_heap
+
     def step(self) -> bool:
         """Execute the next pending event. Returns False if none remain."""
         heap = self._heap
         pop = heapq.heappop
         while heap:
-            time, _priority, _seq, handle = pop(heap)
+            entry = heap[0]
+            handle = entry[3]
             if handle.cancelled:
+                pop(heap)
                 self._cancelled_in_heap -= 1
                 continue
-            self._now = time
+            if self._cycle_hooks and entry[0] > self._now:
+                # Quiescent boundary: everything at the current timestamp
+                # has run and the clock is about to advance.
+                for hook in tuple(self._cycle_hooks):
+                    hook()
+            pop(heap)
+            self._now = entry[0]
             handle.executed = True
             self._live -= 1
             handle.callback()

@@ -1,0 +1,730 @@
+"""Seeded scenario fuzzer with shrinking replay.
+
+The fuzzer composes random-but-reproducible scenarios — a workload mix
+(micro/stream/bigdata/hpc), an explicit chaos schedule, and a controller
+config — runs each as a short platform episode with the full
+:mod:`repro.verify.invariants` registry attached at ``every=1``, and on
+any violation **shrinks** the scenario to a minimal failing form before
+writing a replayable JSON repro file.
+
+Determinism contract: a scenario is *entirely* described by its
+:class:`ScenarioSpec`. Scenario generation draws only from
+``RngRegistry(run_seed).stream("fuzz/scenario/<index>")``, and the
+episode itself draws only from the platform's own registry seeded with
+``spec.seed`` — so ``repro fuzz --seed 7`` produces the same episodes on
+every machine, and a repro file replays the same run that failed (see
+docs/testing.md for the seed-derivation scheme).
+
+Chaos is scheduled *explicitly* (strike at ``at``, heal at
+``at + duration``) rather than through the Poisson
+:class:`~repro.cluster.chaos.ChaosMonkey`, so dropping one chaos event
+during shrinking does not shift the timing of the others. Targets are
+stored as integers and resolved against the candidate list at strike
+time (``candidates[target % len(candidates)]``), which keeps a spec
+valid under shrinking even when earlier faults changed which nodes are
+healthy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable
+
+from repro.cluster.events import PodScheduled
+from repro.cluster.resources import ResourceVector
+from repro.platform.config import ClusterSpec, PlatformConfig
+from repro.platform.evolve import EvolvePlatform
+from repro.sim.rng import RngRegistry
+from repro.storage.placement import spread_blocks
+from repro.verify.invariants import Invariant, InvariantChecker, Violation
+from repro.workloads.bigdata import Stage
+from repro.workloads.microservice import ServiceDemands
+from repro.workloads.plo import LatencyPLO
+from repro.workloads.stream import Operator
+from repro.workloads.traces import ConstantTrace, DiurnalTrace
+
+#: Bump when the repro JSON layout changes incompatibly.
+FORMAT_VERSION = 1
+
+WORKLOAD_KINDS = ("micro", "stream", "bigdata", "hpc")
+NODE_DOMAINS = ("crash", "degrade")
+CONTROLLER_DOMAINS = ("controller-crash", "partition")
+
+#: Shrinking never reduces the horizon below this (the control loops
+#: need a few intervals to do anything at all).
+MIN_HORIZON = 60.0
+
+
+# -- scenario specs ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload in a scenario; ``params`` is kind-specific JSON."""
+
+    kind: str
+    name: str
+    params: dict
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "name": self.name, "params": self.params}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        return cls(
+            kind=data["kind"], name=data["name"], params=dict(data["params"])
+        )
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One explicit fault: strike at ``at``, heal at ``at + duration``.
+
+    ``target`` is an abstract index resolved against the candidate list
+    at strike time, so it stays meaningful as scenarios shrink.
+    """
+
+    domain: str
+    at: float
+    duration: float
+    target: int
+
+    def to_dict(self) -> dict:
+        return {
+            "domain": self.domain,
+            "at": self.at,
+            "duration": self.duration,
+            "target": self.target,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosEvent":
+        return cls(
+            domain=data["domain"],
+            at=float(data["at"]),
+            duration=float(data["duration"]),
+            target=int(data["target"]),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, replayable scenario."""
+
+    seed: int
+    horizon: float
+    nodes: int
+    controller_replicas: int = 1
+    scheduler: str = "converged"
+    workloads: tuple[WorkloadSpec, ...] = ()
+    chaos: tuple[ChaosEvent, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "format": FORMAT_VERSION,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "nodes": self.nodes,
+            "controller_replicas": self.controller_replicas,
+            "scheduler": self.scheduler,
+            "workloads": [w.to_dict() for w in self.workloads],
+            "chaos": [c.to_dict() for c in self.chaos],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        version = data.get("format", FORMAT_VERSION)
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"repro format {version} not supported "
+                f"(this build reads format {FORMAT_VERSION})"
+            )
+        return cls(
+            seed=int(data["seed"]),
+            horizon=float(data["horizon"]),
+            nodes=int(data["nodes"]),
+            controller_replicas=int(data.get("controller_replicas", 1)),
+            scheduler=data.get("scheduler", "converged"),
+            workloads=tuple(
+                WorkloadSpec.from_dict(w) for w in data.get("workloads", ())
+            ),
+            chaos=tuple(
+                ChaosEvent.from_dict(c) for c in data.get("chaos", ())
+            ),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+
+# -- scenario generation -------------------------------------------------------
+
+
+def _draw_workload(kind: str, index: int, rng) -> WorkloadSpec:
+    name = f"{kind}-{index}"
+    if kind == "micro":
+        base = round(float(rng.uniform(50.0, 250.0)), 1)
+        params = {
+            "base": base,
+            "amplitude": round(base * float(rng.uniform(0.2, 0.8)), 1),
+            "period": 600.0,
+            "cpu_seconds": round(float(rng.uniform(0.002, 0.01)), 4),
+            "cpu": round(float(rng.uniform(0.5, 2.0)), 2),
+            "memory": 2.0,
+            "plo": 0.05,
+            "replicas": int(rng.integers(1, 3)),
+        }
+    elif kind == "stream":
+        params = {
+            "rate": round(float(rng.uniform(100.0, 400.0)), 1),
+            "cpu_seconds": round(float(rng.uniform(0.001, 0.004)), 4),
+            "cpu": round(float(rng.uniform(0.5, 1.5)), 2),
+            "memory": 2.0,
+            "plo": 5.0,
+            "workers": int(rng.integers(1, 3)),
+        }
+    elif kind == "bigdata":
+        params = {
+            "scan_cpu": round(float(rng.uniform(100.0, 400.0)), 1),
+            "agg_cpu": round(float(rng.uniform(100.0, 400.0)), 1),
+            "input_mb": round(float(rng.uniform(1000.0, 8000.0)), 1),
+            "executors": int(rng.integers(2, 4)),
+            "delay": round(float(rng.uniform(0.0, 60.0)), 1),
+            "cpu": round(float(rng.uniform(1.0, 2.0)), 2),
+            "memory": 4.0,
+            "dataset": bool(rng.random() < 0.5),
+        }
+    elif kind == "hpc":
+        params = {
+            "ranks": int(rng.integers(2, 5)),
+            "duration": round(float(rng.uniform(60.0, 180.0)), 1),
+            "cpu": round(float(rng.uniform(2.0, 4.0)), 2),
+            "memory": round(float(rng.uniform(4.0, 8.0)), 1),
+            "delay": round(float(rng.uniform(0.0, 60.0)), 1),
+        }
+    else:  # pragma: no cover - guarded by WORKLOAD_KINDS
+        raise ValueError(f"unknown workload kind {kind!r}")
+    return WorkloadSpec(kind=kind, name=name, params=params)
+
+
+def generate_scenario(run_seed: int, index: int) -> ScenarioSpec:
+    """Draw episode ``index`` of a fuzz run, deterministically.
+
+    Each (run_seed, index) pair maps to its own RNG stream, so episodes
+    are independent: adding episode 12 never perturbs episode 13.
+    """
+    rng = RngRegistry(run_seed).stream(f"fuzz/scenario/{index}")
+    nodes = int(rng.integers(3, 6))
+    horizon = float(rng.integers(4, 11)) * 60.0
+    replicas = 3 if float(rng.random()) < 0.25 else 1
+    workloads = tuple(
+        _draw_workload(
+            WORKLOAD_KINDS[int(rng.integers(len(WORKLOAD_KINDS)))], i, rng
+        )
+        for i in range(int(rng.integers(1, 5)))
+    )
+    domains = NODE_DOMAINS + (CONTROLLER_DOMAINS if replicas > 1 else ())
+    chaos = tuple(
+        ChaosEvent(
+            domain=domains[int(rng.integers(len(domains)))],
+            at=round(float(rng.uniform(30.0, max(60.0, 0.6 * horizon))), 1),
+            duration=round(float(rng.uniform(30.0, 120.0)), 1),
+            target=int(rng.integers(16)),
+        )
+        for _ in range(int(rng.integers(0, 4)))
+    )
+    return ScenarioSpec(
+        seed=int(rng.integers(2**31 - 1)),
+        horizon=horizon,
+        nodes=nodes,
+        controller_replicas=replicas,
+        workloads=workloads,
+        chaos=chaos,
+    )
+
+
+# -- platform construction -----------------------------------------------------
+
+
+def build_platform(
+    spec: ScenarioSpec, *, telemetry: bool = False
+) -> EvolvePlatform:
+    """Materialize a spec: platform + workloads + explicit chaos schedule."""
+    platform = EvolvePlatform(
+        cluster_spec=ClusterSpec(node_count=spec.nodes),
+        config=PlatformConfig(
+            seed=spec.seed,
+            controller_replicas=spec.controller_replicas,
+            telemetry=telemetry,
+        ),
+        scheduler=spec.scheduler,
+        policy="adaptive",
+    )
+    for workload in spec.workloads:
+        _deploy(platform, workload)
+    for event in spec.chaos:
+        _schedule_chaos(platform, event)
+    return platform
+
+
+def _deploy(platform: EvolvePlatform, workload: WorkloadSpec) -> None:
+    p = workload.params
+    if workload.kind == "micro":
+        platform.deploy_microservice(
+            workload.name,
+            trace=DiurnalTrace(
+                base=p["base"], amplitude=p["amplitude"], period=p["period"]
+            ),
+            demands=ServiceDemands(
+                cpu_seconds=p["cpu_seconds"], base_latency=0.005
+            ),
+            allocation=ResourceVector(
+                cpu=p["cpu"], memory=p["memory"], disk_bw=10, net_bw=30
+            ),
+            plo=LatencyPLO(p["plo"], window=30),
+            replicas=p["replicas"],
+        )
+    elif workload.kind == "stream":
+        platform.deploy_stream(
+            workload.name,
+            trace=ConstantTrace(p["rate"]),
+            operators=[
+                Operator("parse", p["cpu_seconds"]),
+                Operator("agg", p["cpu_seconds"] / 2),
+            ],
+            allocation=ResourceVector(
+                cpu=p["cpu"], memory=p["memory"], disk_bw=10, net_bw=40
+            ),
+            plo=LatencyPLO(p["plo"], window=30),
+            workers=p["workers"],
+        )
+    elif workload.kind == "bigdata":
+        dataset = None
+        if p.get("dataset"):
+            dataset = f"{workload.name}-data"
+            node_names = list(platform.cluster.nodes)
+            spread_blocks(
+                platform.store,
+                dataset,
+                total_mb=2000,
+                block_mb=100,
+                nodes=node_names[: max(1, len(node_names) // 2)],
+            )
+        platform.submit_bigdata(
+            workload.name,
+            stages=[
+                Stage("scan", p["scan_cpu"], input_mb=p["input_mb"]),
+                Stage(
+                    "agg",
+                    p["agg_cpu"],
+                    input_mb=p["input_mb"] / 10,
+                    deps=("scan",),
+                ),
+            ],
+            allocation=ResourceVector(
+                cpu=p["cpu"], memory=p["memory"], disk_bw=60, net_bw=60
+            ),
+            executors=p["executors"],
+            dataset=dataset,
+            delay=p["delay"],
+        )
+    elif workload.kind == "hpc":
+        platform.submit_hpc(
+            workload.name,
+            ranks=p["ranks"],
+            duration=p["duration"],
+            allocation=ResourceVector(
+                cpu=p["cpu"], memory=p["memory"], disk_bw=5, net_bw=40
+            ),
+            delay=p["delay"],
+        )
+    else:
+        raise ValueError(f"unknown workload kind {workload.kind!r}")
+
+
+def _schedule_chaos(platform: EvolvePlatform, event: ChaosEvent) -> None:
+    """Schedule one explicit strike/heal pair, with guards.
+
+    Every guard makes the event a no-op instead of an error when its
+    target is unavailable (all nodes already down, no control plane,
+    replica already partitioned …): a shrunken spec must stay runnable
+    no matter which of its siblings were dropped.
+    """
+    engine = platform.engine
+    token: dict = {}
+
+    if event.domain == "crash":
+
+        def strike() -> None:
+            healthy = [n.name for n in platform.injector.healthy_nodes()]
+            if not healthy:
+                return
+            name = healthy[event.target % len(healthy)]
+            platform.injector.fail_node(name)
+            token["node"] = name
+
+        def heal() -> None:
+            name = token.get("node")
+            if name is not None and platform.injector.is_failed(name):
+                platform.injector.recover_node(name)
+
+    elif event.domain == "degrade":
+
+        def strike() -> None:
+            candidates = [
+                n.name
+                for n in platform.injector.healthy_nodes()
+                if not platform.degrader.is_degraded(n.name)
+            ]
+            if not candidates:
+                return
+            name = candidates[event.target % len(candidates)]
+            platform.degrader.degrade_node(name, 0.5)
+            token["node"] = name
+
+        def heal() -> None:
+            name = token.get("node")
+            if name is not None and platform.degrader.is_degraded(name):
+                platform.degrader.restore_node(name)
+
+    elif event.domain == "controller-crash":
+
+        def strike() -> None:
+            plane = platform.control_plane
+            if plane is None:
+                return
+            alive = plane.alive_indices()
+            if not alive:
+                return
+            leader = plane.leader_index()
+            index = (
+                leader
+                if leader is not None
+                else alive[event.target % len(alive)]
+            )
+            plane.crash_replica(index)
+            token["index"] = index
+
+        def heal() -> None:
+            plane = platform.control_plane
+            index = token.get("index")
+            if (
+                plane is not None
+                and index is not None
+                and not plane.is_alive(index)
+            ):
+                plane.restart_replica(index)
+
+    elif event.domain == "partition":
+
+        def strike() -> None:
+            plane = platform.control_plane
+            if plane is None:
+                return
+            alive = plane.alive_indices()
+            if not alive:
+                return
+            identity = plane.identity(alive[event.target % len(alive)])
+            now = engine.now
+            if not platform.partition_faults.is_partitioned(identity, now):
+                # Bounded window: closes by itself, no heal callback.
+                platform.partition_faults.partition(
+                    identity, now, event.duration
+                )
+
+        heal = None
+
+    else:
+        raise ValueError(f"unknown chaos domain {event.domain!r}")
+
+    engine.schedule_at(event.at, strike)
+    if heal is not None:
+        engine.schedule_at(event.at + event.duration, heal)
+
+
+# -- episodes ------------------------------------------------------------------
+
+
+@dataclass
+class EpisodeResult:
+    spec: ScenarioSpec
+    violations: list[Violation]
+    events_executed: int
+    checks_run: int
+    #: (time, pod, node) placement triples, when requested.
+    fingerprint: list[tuple[float, str, str]] | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_episode(
+    spec: ScenarioSpec,
+    *,
+    every: int = 1,
+    telemetry: bool = False,
+    invariants: list[Invariant] | None = None,
+    inject: Callable[[EvolvePlatform], None] | None = None,
+    collect_fingerprint: bool = False,
+) -> EpisodeResult:
+    """Run one scenario under the invariant checker.
+
+    ``inject`` runs against the built platform before the clock starts —
+    the hook tests use to plant a known corruption (a raw double-bind, a
+    stale-heap push) and prove the harness catches it.
+    """
+    platform = build_platform(spec, telemetry=telemetry)
+    checker = InvariantChecker.attach(
+        platform,
+        every=every,
+        invariants=invariants,
+        stop_on_violation=True,
+    )
+    fingerprint: list[tuple[float, str, str]] | None = None
+    if collect_fingerprint:
+        fingerprint = []
+        platform.cluster.events.subscribe(
+            PodScheduled,
+            lambda e: fingerprint.append((e.time, e.pod_name, e.node_name)),
+        )
+    if inject is not None:
+        inject(platform)
+    platform.run(spec.horizon)
+    checker.final_check()
+    checker.detach()
+    return EpisodeResult(
+        spec=spec,
+        violations=list(checker.violations),
+        events_executed=platform.engine.events_executed,
+        checks_run=checker.checks_run,
+        fingerprint=fingerprint,
+    )
+
+
+def telemetry_identity_violation(
+    spec: ScenarioSpec, *, every: int = 1
+) -> Violation | None:
+    """Differential invariant: telemetry must not change decisions.
+
+    Runs the spec twice — telemetry off and on — and compares the
+    placement fingerprint and total event count. Unlike the cycle-level
+    invariants this one needs two full runs, so the fuzzer applies it
+    per episode behind ``--differential``.
+    """
+    base = run_episode(spec, every=every, collect_fingerprint=True)
+    tele = run_episode(
+        spec, every=every, telemetry=True, collect_fingerprint=True
+    )
+    if base.fingerprint != tele.fingerprint:
+        return Violation(
+            "telemetry-identity",
+            spec.horizon,
+            f"placements diverge with telemetry enabled "
+            f"({len(base.fingerprint)} vs {len(tele.fingerprint)} binds)",
+        )
+    if base.events_executed != tele.events_executed:
+        return Violation(
+            "telemetry-identity",
+            spec.horizon,
+            f"event count diverges with telemetry enabled "
+            f"({base.events_executed} vs {tele.events_executed})",
+        )
+    return None
+
+
+# -- shrinking -----------------------------------------------------------------
+
+
+def shrink(
+    spec: ScenarioSpec,
+    still_fails: Callable[[ScenarioSpec], bool],
+    *,
+    max_evals: int = 64,
+) -> ScenarioSpec:
+    """Greedily minimize a failing spec.
+
+    Reduction moves, tried to a fixpoint: drop one workload, drop one
+    chaos event, drop the replicated control plane, halve the horizon.
+    A candidate is kept only if ``still_fails`` — so the result is
+    1-minimal with respect to these moves (dropping any single remaining
+    element makes the failure disappear), within an evaluation budget.
+    """
+    evals = 0
+
+    def attempt(candidate: ScenarioSpec) -> bool:
+        nonlocal evals
+        if evals >= max_evals:
+            return False
+        evals += 1
+        return still_fails(candidate)
+
+    current = spec
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for i in range(len(current.workloads)):
+            candidate = replace(
+                current,
+                workloads=current.workloads[:i] + current.workloads[i + 1:],
+            )
+            if attempt(candidate):
+                current = candidate
+                improved = True
+                break
+        if improved:
+            continue
+        for i in range(len(current.chaos)):
+            candidate = replace(
+                current, chaos=current.chaos[:i] + current.chaos[i + 1:]
+            )
+            if attempt(candidate):
+                current = candidate
+                improved = True
+                break
+        if improved:
+            continue
+        if current.controller_replicas > 1:
+            candidate = replace(current, controller_replicas=1)
+            if attempt(candidate):
+                current = candidate
+                improved = True
+                continue
+        if current.horizon > MIN_HORIZON:
+            candidate = replace(
+                current, horizon=max(MIN_HORIZON, current.horizon / 2)
+            )
+            if attempt(candidate):
+                current = candidate
+                improved = True
+    return current
+
+
+# -- the fuzz loop -------------------------------------------------------------
+
+
+@dataclass
+class FuzzFailure:
+    index: int
+    violations: list[Violation]
+    spec: ScenarioSpec
+    shrunk: ScenarioSpec
+    repro_path: str | None
+
+
+@dataclass
+class FuzzSummary:
+    run_seed: int
+    episodes: int
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def write_repro(
+    spec: ScenarioSpec,
+    violations: list[Violation],
+    out_dir: str | Path,
+    run_seed: int,
+    index: int,
+) -> Path:
+    """Persist a failing (shrunken) spec as a replayable JSON file."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"repro-{run_seed}-{index}.json"
+    payload = spec.to_dict()
+    payload["violations"] = [str(v) for v in violations]
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_spec(path: str | Path) -> ScenarioSpec:
+    """Load a spec from a repro file (extra keys like violations ignored)."""
+    return ScenarioSpec.from_dict(json.loads(Path(path).read_text()))
+
+
+def fuzz(
+    episodes: int,
+    run_seed: int,
+    *,
+    every: int = 1,
+    out_dir: str | Path | None = "fuzz-repros",
+    shrink_failures: bool = True,
+    differential: bool = False,
+    inject: Callable[[EvolvePlatform], None] | None = None,
+    log: Callable[[str], None] | None = None,
+) -> FuzzSummary:
+    """Run ``episodes`` seeded scenarios; shrink and persist any failure."""
+    say = log if log is not None else (lambda _msg: None)
+    summary = FuzzSummary(run_seed=run_seed, episodes=episodes)
+    for index in range(episodes):
+        spec = generate_scenario(run_seed, index)
+        result = run_episode(spec, every=every, inject=inject)
+        violations = list(result.violations)
+        if not violations and differential:
+            extra = telemetry_identity_violation(spec, every=every)
+            if extra is not None:
+                violations.append(extra)
+        if not violations:
+            say(
+                f"episode {index}: ok "
+                f"({result.events_executed} events, "
+                f"{result.checks_run} checks)"
+            )
+            continue
+        say(f"episode {index}: VIOLATION {violations[0]}")
+        shrunk = spec
+        if shrink_failures:
+
+            def still_fails(candidate: ScenarioSpec) -> bool:
+                if not run_episode(
+                    candidate, every=every, inject=inject
+                ).ok:
+                    return True
+                if differential:
+                    return (
+                        telemetry_identity_violation(candidate, every=every)
+                        is not None
+                    )
+                return False
+
+            shrunk = shrink(spec, still_fails)
+            say(
+                f"episode {index}: shrunk to {len(shrunk.workloads)} "
+                f"workload(s), {len(shrunk.chaos)} chaos event(s), "
+                f"horizon {shrunk.horizon:g}s"
+            )
+        repro_path = None
+        if out_dir is not None:
+            repro_path = str(
+                write_repro(shrunk, violations, out_dir, run_seed, index)
+            )
+            say(f"episode {index}: repro written to {repro_path}")
+        summary.failures.append(
+            FuzzFailure(
+                index=index,
+                violations=violations,
+                spec=spec,
+                shrunk=shrunk,
+                repro_path=repro_path,
+            )
+        )
+    return summary
+
+
+def replay(
+    path: str | Path, *, seed: int | None = None, every: int = 1
+) -> EpisodeResult:
+    """Re-run a repro file; ``seed`` overrides the recorded episode seed."""
+    spec = load_spec(path)
+    if seed is not None:
+        spec = replace(spec, seed=seed)
+    return run_episode(spec, every=every)

@@ -346,3 +346,82 @@ class TestWatchdog:
     def test_nonpositive_timeout_rejected(self):
         with pytest.raises(SimulationError):
             Watchdog(Engine(), 0.0, lambda: None)
+
+
+class TestCycleHooks:
+    def test_hook_fires_at_timestamp_boundaries(self):
+        engine = Engine()
+        boundaries = []
+        engine.add_cycle_hook(lambda: boundaries.append(engine.now))
+        for t in (1.0, 1.0, 2.0, 5.0):
+            engine.schedule_at(t, lambda: None)
+        engine.run_until(10.0)
+        # The hook fires before the clock advances past each batch:
+        # after both t=1 events, after t=2, after t=5 nothing is left
+        # (end-of-run quiescence needs an explicit final check).
+        assert boundaries == [0.0, 1.0, 2.0]
+
+    def test_hook_not_between_same_timestamp_events(self):
+        engine = Engine()
+        calls = []
+        engine.add_cycle_hook(lambda: calls.append(engine.now))
+        for _ in range(5):
+            engine.schedule_at(3.0, lambda: None)
+        engine.run_until(4.0)
+        assert calls == [0.0]  # one boundary, not five
+
+    def test_remove_cycle_hook(self):
+        engine = Engine()
+        calls = []
+        hook = lambda: calls.append(engine.now)  # noqa: E731
+        engine.add_cycle_hook(hook)
+        engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        engine.run_until(3.0)
+        assert calls == [0.0, 1.0]
+        engine.remove_cycle_hook(hook)
+        engine.remove_cycle_hook(hook)  # idempotent
+        engine.schedule_at(4.0, lambda: None)
+        engine.run_until(5.0)
+        assert calls == [0.0, 1.0]
+
+    def test_hooks_do_not_change_execution(self):
+        def run(with_hook):
+            engine = Engine()
+            order = []
+            if with_hook:
+                engine.add_cycle_hook(lambda: None)
+            engine.every(1.0, lambda: order.append(engine.now))
+            engine.run_until(10.0)
+            return order, engine.events_executed
+
+        assert run(False) == run(True)
+
+    def test_audit_heap_counts_live_and_cancelled(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None)
+                   for i in range(6)]
+        for handle in handles[:2]:
+            handle.cancel()
+        live, cancelled = engine.audit_heap()
+        assert live == 4
+        assert cancelled == 2
+        assert live == engine.pending_count()
+        assert cancelled == engine.cancelled_in_heap
+
+    def test_audit_heap_detects_stale_alias_push(self):
+        # Reintroduce the PR 4 compaction bug by hand: push an event
+        # onto a captured pre-compaction heap alias. The O(1) counters
+        # say one thing, the real heap another — exactly the mismatch
+        # the heap-integrity invariant asserts on.
+        import heapq
+
+        engine = Engine()
+        stale = engine._heap
+        handle = engine.schedule(1.0, lambda: None)
+        engine._heap = []  # simulate a compaction swapping the list
+        heapq.heappush(stale, (2.0, 0, 99, handle))  # orphaned push
+        live, cancelled = engine.audit_heap()
+        assert live == 0
+        assert engine.pending_count() == 1
+        assert live != engine.pending_count()

@@ -1,0 +1,180 @@
+"""Integration tests: the checker on a live platform.
+
+Covers the wiring half of the harness: `PlatformConfig(verify=True)`
+attaches the registry through the engine cycle hook, seeded runs are
+bit-identical with the checker on or off, the strided default stays
+within its profiled overhead budget, and a corruption planted mid-run
+is caught while the platform is driving real workloads.
+"""
+
+import cProfile
+
+from repro.cluster.resources import ResourceVector
+from repro.platform.config import ClusterSpec, PlatformConfig
+from repro.platform.evolve import EvolvePlatform
+from repro.verify.invariants import InvariantChecker
+from repro.workloads.microservice import ServiceDemands
+from repro.workloads.plo import LatencyPLO
+from repro.workloads.traces import DiurnalTrace
+
+
+def _build(seed=21, *, verify=False, verify_every=32, replicas=1):
+    platform = EvolvePlatform(
+        cluster_spec=ClusterSpec(node_count=4),
+        config=PlatformConfig(
+            seed=seed,
+            verify=verify,
+            verify_every=verify_every,
+            controller_replicas=replicas,
+        ),
+        policy="adaptive",
+    )
+    platform.deploy_microservice(
+        "web",
+        trace=DiurnalTrace(base=150, amplitude=90, period=600),
+        demands=ServiceDemands(cpu_seconds=0.006, base_latency=0.005),
+        allocation=ResourceVector(cpu=1, memory=2, disk_bw=10, net_bw=30),
+        plo=LatencyPLO(0.05, window=30),
+        replicas=2,
+    )
+    platform.submit_hpc(
+        "mpi",
+        ranks=3,
+        duration=120.0,
+        allocation=ResourceVector(cpu=2, memory=4, disk_bw=5, net_bw=40),
+        delay=30.0,
+    )
+    return platform
+
+
+class TestPlatformWiring:
+    def test_config_attaches_checker(self):
+        platform = _build(verify=True)
+        assert platform.checker is not None
+        assert platform.checker.every == 32
+        platform.run(300.0)
+        assert platform.checker.cycles_seen > 0
+        assert platform.checker.checks_run > 0
+        assert platform.checker.ok, platform.checker.report()
+
+    def test_checker_off_by_default(self):
+        platform = _build()
+        assert platform.checker is None
+
+    def test_clean_run_with_every_cycle_checking(self):
+        platform = _build(verify=True, verify_every=1, replicas=3)
+        platform.run(400.0)
+        checker = platform.checker
+        checker.final_check()
+        assert checker.ok, checker.report()
+        assert checker.checks_run == checker.cycles_seen + 1
+
+    def test_injected_double_bind_caught_mid_run(self):
+        platform = _build(verify=True, verify_every=1)
+        cluster = platform.cluster
+
+        def corrupt():
+            for pod in cluster.pods.values():
+                if pod.active and pod.node_name is not None:
+                    for node in cluster.nodes.values():
+                        if node.name != pod.node_name and node.can_fit(
+                            pod.allocation
+                        ):
+                            node.bind(pod)
+                            return
+
+        platform.engine.schedule_at(60.0, corrupt)
+        platform.run(300.0)
+        checker = platform.checker
+        assert not checker.ok
+        assert any(
+            v.invariant == "no-double-bind" and "bound to 2 nodes" in v.detail
+            for v in checker.violations
+        )
+        # Caught at the first audited boundary after the corruption.
+        first = min(v.time for v in checker.violations)
+        assert 60.0 <= first <= 70.0
+
+    def test_final_check_covers_the_last_batch(self):
+        # Cycle hooks fire *between* timestamps, so corruption in the
+        # run's final events is only visible to an explicit final pass.
+        platform = _build(verify=True, verify_every=1)
+        platform.run(120.0)
+        node = platform.cluster.get_node("node-00")
+        node._allocated = node._allocated + ResourceVector(
+            cpu=1, memory=0, disk_bw=0, net_bw=0
+        )
+        assert platform.checker.ok
+        fresh = platform.checker.final_check()
+        assert any("allocation drift" in v.detail for v in fresh)
+
+
+class TestBitIdentity:
+    def _fingerprint(self, platform):
+        series = platform.collector.series("app/web/latency")
+        times, values = series.to_lists()
+        assert times, "fingerprint series must not be empty"
+        return platform.engine.events_executed, times, values
+
+    def test_checker_on_off_bit_identical(self):
+        base = _build(seed=33)
+        base.run(600.0)
+        checked = _build(seed=33, verify=True, verify_every=1)
+        checked.run(600.0)
+        assert checked.checker.checks_run > 0
+        assert self._fingerprint(base) == self._fingerprint(checked)
+
+    def test_stride_does_not_change_the_run(self):
+        a = _build(seed=33, verify=True, verify_every=1)
+        a.run(600.0)
+        b = _build(seed=33, verify=True, verify_every=64)
+        b.run(600.0)
+        assert self._fingerprint(a) == self._fingerprint(b)
+
+
+class TestOverheadBudget:
+    def test_default_stride_within_five_percent_call_budget(self):
+        # The knob this gates: verify_every=32 (the PlatformConfig
+        # default) must keep the checker within a 5% profiled-call
+        # budget on a control-loop-heavy run. Call counts in a seeded
+        # simulation are deterministic, so this is a stable gate, not a
+        # wall-clock flake.
+        def calls(verify):
+            platform = _build(seed=21, verify=verify)
+            profile = cProfile.Profile()
+            profile.enable()
+            platform.run(1800.0)
+            profile.disable()
+            return sum(
+                entry.callcount for entry in profile.getstats()
+            )
+
+        baseline = calls(False)
+        checked = calls(True)
+        overhead = (checked - baseline) / baseline
+        assert overhead < 0.05, f"checker call overhead {overhead:.1%}"
+
+
+class TestWalReplayIdempotence:
+    def test_second_restore_is_all_dedupe(self):
+        # End-to-end strong idempotence behind the wal-discipline
+        # invariant: after a real failover replayed the WAL tail, a
+        # second replay must deduplicate every record — re-issuing an
+        # absolute resize target the cluster already reflects would
+        # trample concurrent changes.
+        platform = _build(seed=5, verify=True, verify_every=1, replicas=3)
+        plane = platform.control_plane
+        platform.run(400.0)
+        assert platform.statestore.wal, "adaptive run should log actuations"
+        leader = plane.leader_index()
+        assert leader is not None
+        plane.crash_replica(leader)
+        platform.run(200.0)
+        assert plane.failovers, "crashing the leader should fail over"
+        assert platform.checker.ok, platform.checker.report()
+        new_leader = plane.leader_index()
+        assert new_leader is not None and new_leader != leader
+        stats = plane._restore(plane.replicas[new_leader].manager)
+        assert stats["wal_reissued"] == 0
+        assert stats["wal_failed"] == 0
+        assert stats["wal_deduped"] >= 1

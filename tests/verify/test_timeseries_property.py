@@ -1,0 +1,219 @@
+"""Property test: offset-compacted TimeSeries vs a naive list reference.
+
+The optimized storage (two plain lists + start offset, lazy compaction)
+must be observationally identical to the obvious implementation — one
+list of (time, value) pairs with FIFO pop(0) eviction. Seeded random
+interleavings of appends and every query in the API are compared
+sample-for-sample, with enough appends to cycle the compaction path
+(`_start` reaching `maxlen`) many times, and window sizes that cross
+the numpy vectorization cutover in both directions.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.timeseries import _VECTORIZE_MIN, TimeSeries
+
+
+class NaiveSeries:
+    """Reference implementation: one list, linear scans everywhere."""
+
+    def __init__(self, *, maxlen):
+        self.maxlen = maxlen
+        self.samples = []  # list of (time, value)
+
+    def __len__(self):
+        return len(self.samples)
+
+    def append(self, time, value):
+        if self.samples and time < self.samples[-1][0]:
+            raise ValueError("out-of-order sample")
+        self.samples.append((float(time), float(value)))
+        if len(self.samples) > self.maxlen:
+            self.samples.pop(0)
+
+    def last(self):
+        return self.samples[-1][1] if self.samples else None
+
+    def last_time(self):
+        return self.samples[-1][0] if self.samples else None
+
+    def value_at(self, time):
+        result = None
+        for t, v in self.samples:
+            if t <= time:
+                result = v
+        return result
+
+    def window(self, start, end):
+        return [(t, v) for t, v in self.samples if start < t <= end]
+
+    def _window_values(self, now, span):
+        return [v for _, v in self.window(now - span, now)]
+
+    def mean_over(self, now, span):
+        values = self._window_values(now, span)
+        return sum(values) / len(values) if values else None
+
+    def max_over(self, now, span):
+        values = self._window_values(now, span)
+        return max(values) if values else None
+
+    def min_over(self, now, span):
+        values = self._window_values(now, span)
+        return min(values) if values else None
+
+    def percentile_over(self, now, span, q):
+        values = self._window_values(now, span)
+        if not values:
+            return None
+        rank = max(0, math.ceil(q / 100 * len(values)) - 1)
+        return sorted(values)[rank]
+
+    def sum_over(self, now, span):
+        return sum(self._window_values(now, span))
+
+    def count_over(self, now, span):
+        return len(self._window_values(now, span))
+
+    def rate_over(self, now, span):
+        samples = self.window(now - span, now)
+        if len(samples) < 2:
+            return None
+        (t0, v0), (t1, v1) = samples[0], samples[-1]
+        if t1 <= t0:
+            return None
+        return (v1 - v0) / (t1 - t0)
+
+    def ewma(self, alpha, *, count=None):
+        values = [v for _, v in self.samples]
+        if count is not None:
+            values = values[len(values) - count:] if count < len(values) else values
+        result = None
+        for v in values:
+            result = v if result is None else alpha * v + (1 - alpha) * result
+        return result
+
+    def integrate(self, start, end):
+        if end <= start:
+            return 0.0
+        total = 0.0
+        inside = [(t, v) for t, v in self.samples if t <= end]
+        for i, (t, v) in enumerate(inside):
+            seg_start = max(t, start)
+            seg_end = inside[i + 1][0] if i + 1 < len(inside) else end
+            seg_end = min(seg_end, end)
+            if seg_end > seg_start:
+                total += v * (seg_end - seg_start)
+        return total
+
+    def to_lists(self):
+        return [t for t, _ in self.samples], [v for _, v in self.samples]
+
+
+def _approx(a, b):
+    if a is None or b is None:
+        assert a == b
+    else:
+        assert a == pytest.approx(b, rel=1e-12, abs=1e-12)
+
+
+def _compare_all(series, reference, now, spans, rng):
+    assert len(series) == len(reference)
+    _approx(series.last(), reference.last())
+    _approx(series.last_time(), reference.last_time())
+    times, values = series.to_lists()
+    ref_times, ref_values = reference.to_lists()
+    assert times == ref_times and values == ref_values
+    probe = float(rng.uniform(-1.0, now + 1.0))
+    _approx(series.value_at(probe), reference.value_at(probe))
+    for span in spans:
+        assert series.window(now - span, now) == reference.window(
+            now - span, now
+        )
+        _approx(series.mean_over(now, span), reference.mean_over(now, span))
+        _approx(series.max_over(now, span), reference.max_over(now, span))
+        _approx(series.min_over(now, span), reference.min_over(now, span))
+        q = float(rng.uniform(0.0, 100.0))
+        _approx(
+            series.percentile_over(now, span, q),
+            reference.percentile_over(now, span, q),
+        )
+        _approx(series.sum_over(now, span), reference.sum_over(now, span))
+        assert series.count_over(now, span) == reference.count_over(now, span)
+        _approx(series.rate_over(now, span), reference.rate_over(now, span))
+    _approx(series.ewma(0.3), reference.ewma(0.3))
+    _approx(series.ewma(0.8, count=7), reference.ewma(0.8, count=7))
+    _approx(
+        series.integrate(now / 3, now),
+        reference.integrate(now / 3, now),
+    )
+
+
+class TestTimeSeriesAgainstNaiveReference:
+    @pytest.mark.parametrize("maxlen,appends", [(16, 400), (128, 900)])
+    def test_random_interleavings_match(self, maxlen, appends):
+        rng = np.random.default_rng(20260807 + maxlen)
+        series = TimeSeries(maxlen=maxlen)
+        reference = NaiveSeries(maxlen=maxlen)
+        now = 0.0
+        compactions = 0
+        last_start = 0
+        for step in range(appends):
+            # Occasional equal timestamps: the bisect boundaries must
+            # treat duplicates exactly like the linear scan does.
+            if rng.random() < 0.15:
+                dt = 0.0
+            else:
+                dt = float(rng.uniform(0.01, 2.0))
+            now += dt
+            value = float(rng.normal(50.0, 20.0))
+            series.append(now, value)
+            reference.append(now, value)
+            if series._start < last_start:
+                compactions += 1
+            last_start = series._start
+            if step % 17 == 0 or rng.random() < 0.1:
+                spans = (
+                    0.5,
+                    float(rng.uniform(1.0, 10.0)),
+                    # Wide enough to cover the whole retention window,
+                    # crossing the numpy cutover when maxlen allows it.
+                    now + 1.0,
+                )
+                _compare_all(series, reference, now, spans, rng)
+        # The appends must actually have exercised eviction-by-offset
+        # and the periodic physical compaction, or the test proves
+        # nothing about the optimized storage.
+        assert compactions >= 2
+        assert len(series) == maxlen
+        _compare_all(series, reference, now, (1.0, now + 1.0), rng)
+
+    def test_wide_window_crosses_vectorize_cutover(self):
+        rng = np.random.default_rng(99)
+        series = TimeSeries(maxlen=256)
+        reference = NaiveSeries(maxlen=256)
+        now = 0.0
+        for _ in range(3 * _VECTORIZE_MIN):
+            now += float(rng.uniform(0.1, 0.5))
+            value = float(rng.normal(0.0, 5.0))
+            series.append(now, value)
+            reference.append(now, value)
+        for span in (now + 1.0, now / 2, 1.0):
+            _approx(series.max_over(now, span), reference.max_over(now, span))
+            _approx(series.min_over(now, span), reference.min_over(now, span))
+            for q in (0.0, 37.5, 50.0, 99.0, 100.0):
+                _approx(
+                    series.percentile_over(now, span, q),
+                    reference.percentile_over(now, span, q),
+                )
+
+    def test_out_of_order_append_rejected_in_both(self):
+        series = TimeSeries(maxlen=8)
+        reference = NaiveSeries(maxlen=8)
+        for s in (series, reference):
+            s.append(1.0, 1.0)
+            with pytest.raises(ValueError):
+                s.append(0.5, 2.0)
