@@ -58,6 +58,7 @@ from benchmarks import bench_t2_utilization as bench_t2
 from benchmarks import bench_t7_fault_matrix as bench_t7
 from benchmarks import bench_t8_control_plane_outage as bench_t8
 from benchmarks import bench_t9_reaction_latency as bench_t9
+from benchmarks import bench_t10_overload as bench_t10
 from benchmarks import bench_telemetry_overhead as bench_tel
 from benchmarks.scenarios import (
     HOUR,
@@ -353,6 +354,35 @@ def _run_t9(mode: str) -> dict:
         "violations": case["violations"],
     }
     return {"seed": 11, "events_executed": _events(case["platform"]),
+            "metrics": metrics}
+
+
+def _run_t10(mode: str) -> dict:
+    if mode == "smoke":
+        case = bench_t10.run_case(duration=900.0, factors=(1.0, 4.0))
+    else:
+        case = bench_t10.run_case()
+    bench_t10.check_case(case)
+    res_1x, res_peak = case["resilient"][0], case["resilient"][-1]
+    base_peak = case["baseline"][-1]
+    shed = res_peak["shed_by_class"]
+    outage = case["outage"]
+    metrics = {
+        "goodput/resilient-1x": res_1x["goodput"],
+        "goodput/resilient-peak": res_peak["goodput"],
+        "goodput/baseline-peak": base_peak["goodput"],
+        "shed_total": res_peak["shed_total"],
+        "shed/best-effort": shed["best-effort"],
+        "shed/batch": shed["batch"],
+        "running_evictions": res_peak["evicted_running"],
+        "brownout_duty": res_peak["brownout_duty"],
+        "outage/pods_displaced": outage["pods_displaced"],
+        "outage/time_to_recover_s": outage["time_to_recover_s"],
+    }
+    events = sum(
+        p["events"] for p in case["resilient"] + case["baseline"]
+    ) + outage["events"]
+    return {"seed": bench_t10.SEED, "events_executed": events,
             "metrics": metrics}
 
 
@@ -802,6 +832,10 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "t9", "benchmarks.bench_t9_reaction_latency",
         "R-T9: scrape-to-actuation reaction latency", _run_t9,
         budgets={"events_executed": 9_000, "metrics.applied": 300}),
+    Experiment(
+        "t10", "benchmarks.bench_t10_overload",
+        "R-T10: overload resilience and graceful degradation", _run_t10,
+        budgets={"events_executed": 55_000}),
     Experiment(
         "f1", "benchmarks.bench_f1_latency_timeline",
         "R-F1: latency timeline per policy", _run_f1,

@@ -148,6 +148,7 @@ class AdaptiveAutoscaler:
         resilience: ResilienceConfig | None = None,
         rng=None,
         fault_log=None,
+        overload=None,
     ):
         self.engine = engine
         self.collector = collector
@@ -162,7 +163,7 @@ class AdaptiveAutoscaler:
         )
         self.manager = ControlLoopManager(
             engine, collector, interval=interval, resilience=resilience,
-            rng=rng, fault_log=fault_log,
+            rng=rng, fault_log=fault_log, overload=overload,
         )
         self.escape = (
             HorizontalEscapePolicy(

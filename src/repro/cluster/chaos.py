@@ -23,6 +23,8 @@ loop) can be exercised and tested:
   *control plane itself* (kill or partition the leader replica of a
   :class:`~repro.control.ha.ReplicatedControlPlane`), exercising leader
   failover, snapshot restore, and WAL replay.
+* :class:`ZoneOutageDomain` — correlated failure: every node in one
+  availability zone crashes together as a single logged episode.
 * :class:`ChaosMonkey` — random strikes from a seeded RNG over a
   pluggable set of :class:`FaultDomain` verbs for soak experiments.
 
@@ -115,6 +117,21 @@ class FaultLog:
 
     def by_kind(self, kind: str) -> list[FaultEpisode]:
         return [e for e in self.episodes if e.kind == kind]
+
+    def close_open(self, end: float) -> int:
+        """Close every still-open episode at ``end``; returns the count.
+
+        Called when a simulation finishes so episodes that were never
+        healed (a zone still dark at the horizon, a brownout still in
+        force) get a definite duration instead of silently dropping out
+        of — or worse, skewing — the MTTR / re-convergence statistics.
+        """
+        closed = 0
+        for episode in self.episodes:
+            if episode.end is None:
+                episode.end = end
+                closed += 1
+        return closed
 
 
 @dataclass(frozen=True)
@@ -440,6 +457,81 @@ class NodeDegradationDomain:
     def heal(self, token: object) -> None:
         if self.degrader.is_degraded(str(token)):
             self.degrader.restore_node(str(token))
+
+
+class ZoneOutageDomain:
+    """Take out a whole availability zone at once.
+
+    Node crashes are independent by construction; real incidents are not —
+    a power feed or top-of-rack switch takes a correlated slice of the
+    cluster down together. This domain fails every healthy node carrying
+    the same ``zone`` label in one strike, recording a *single*
+    ``zone-outage`` episode (the unit the containment accounting and MTTR
+    analysis care about) with the blast radius — node and displaced-pod
+    counts — in its detail. Healing recovers the nodes that are still
+    down; nodes recovered externally in the meantime are skipped.
+    """
+
+    name = "zone-outage"
+
+    def __init__(
+        self,
+        injector: FailureInjector,
+        rng: np.random.Generator | None = None,
+        *,
+        log: FaultLog | None = None,
+    ):
+        self.injector = injector
+        self.rng = rng  # only needed for random strike(); strike_zone is RNG-free
+        self.log = log if log is not None else injector.log
+        self.outages = 0
+        self.pods_displaced = 0
+
+    def zones(self) -> list[str]:
+        """Zones that still have at least one healthy labelled node."""
+        return sorted(
+            {
+                zone
+                for node in self.injector.healthy_nodes()
+                if (zone := node.labels.get("zone")) is not None
+            }
+        )
+
+    def strike_zone(self, zone: str) -> object:
+        """Deterministically fail every healthy node in ``zone``."""
+        victims = [
+            node.name
+            for node in self.injector.healthy_nodes()
+            if node.labels.get("zone") == zone
+        ]
+        if not victims:
+            raise ClusterError(f"zone {zone!r} has no healthy nodes")
+        episode = self.log.open(
+            "zone-outage", zone, self.injector.cluster.now
+        )
+        displaced = 0
+        for name in victims:
+            displaced += len(self.injector.fail_node(name).evicted_pods)
+        episode.detail = f"nodes={len(victims)} pods_displaced={displaced}"
+        self.outages += 1
+        self.pods_displaced += displaced
+        return (zone, tuple(victims), episode)
+
+    def strike(self) -> object | None:
+        if self.rng is None:
+            raise ClusterError("random strike() needs an rng; use strike_zone")
+        candidates = self.zones()
+        if not candidates:
+            return None
+        zone = candidates[int(self.rng.integers(len(candidates)))]
+        return self.strike_zone(zone)
+
+    def heal(self, token: object) -> None:
+        _zone, victims, episode = token
+        for name in victims:
+            if self.injector.is_failed(name):
+                self.injector.recover_node(name)
+        self.log.close(episode, self.injector.cluster.now)
 
 
 class ControllerCrashDomain:

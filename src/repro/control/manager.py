@@ -28,9 +28,22 @@ The loop is hardened against the fault taxonomy in
   exponential schedule instead of hot-looped.
 * **Circuit breaker** — an app whose actuations keep failing, or whose
   decisions flap between grow and reclaim, has scaling suppressed for
-  ``breaker_open_duration`` seconds; the breaker closes by timeout.
+  ``breaker_open_duration`` seconds. When the window elapses the breaker
+  goes *half-open*: the next actuation is a probe — success closes the
+  breaker, failure re-opens it immediately for another full window.
+* **Backpressure** (opt-in via
+  :class:`~repro.scheduler.admission.OverloadConfig`) — while any loop is
+  distressed (pending retries, open/probing breakers, safe mode), grow
+  decisions are queued and coalesced in a
+  :class:`~repro.control.backpressure.BackpressureState` instead of
+  issued, preventing retry storms; they drain on the first calm period.
+* **Brownout** (opt-in) — apps exposing the brownout surface
+  (``enter_brownout`` / ``exit_brownout``) are hysteretically degraded
+  to a cheaper PLO tier under sustained violation and restored once the
+  error clears.
 
-All knobs live in :class:`ResilienceConfig`.
+All retry/breaker knobs live in :class:`ResilienceConfig`; overload
+features live in :class:`~repro.scheduler.admission.OverloadConfig`.
 """
 
 from __future__ import annotations
@@ -43,6 +56,7 @@ import numpy as np
 
 from repro.cluster.api import ActuationError
 from repro.cluster.resources import RESOURCES, ResourceVector
+from repro.control.backpressure import BackpressureState
 from repro.control.estimator import SaturationSnapshot
 from repro.control.multiresource import ControlDecision, MultiResourceController
 from repro.metrics.collector import MetricsCollector
@@ -142,7 +156,18 @@ class _Entry:
     breaker_open_until: float = 0.0
     breaker_trips: int = 0
     breaker_skips: int = 0
+    # Half-open: the open window elapsed and the next actuation is a
+    # probe — success closes the breaker, failure re-opens it.
+    breaker_half_open: bool = False
+    breaker_probes: int = 0
+    breaker_reopens: int = 0
     directions: deque = field(default_factory=lambda: deque(maxlen=6))
+    # -- brownout hysteresis (only advanced when brownout is enabled) --------
+    brownout_high_periods: int = 0
+    brownout_low_periods: int = 0
+    brownout_entries: int = 0
+    brownout_exits: int = 0
+    brownout_episode: object | None = None
     # Span id of the current period's decide span (telemetry only), so
     # actuations — including delayed retries — parent to their decision.
     decision_span_id: int | None = None
@@ -163,6 +188,11 @@ class ControlLoopManager:
         :class:`ResilienceConfig` (hardening always on).
     rng:
         Source of retry jitter; seeded default keeps runs deterministic.
+    overload:
+        Optional :class:`~repro.scheduler.admission.OverloadConfig`.
+        Its ``backpressure`` flag arms the deferred scale-up ledger and
+        ``brownout`` arms hysteretic degradation; both default off, and a
+        ``None`` (or all-off) config leaves the loop byte-identical.
     """
 
     def __init__(
@@ -175,6 +205,7 @@ class ControlLoopManager:
         resilience: ResilienceConfig | None = None,
         rng: np.random.Generator | None = None,
         fault_log=None,
+        overload=None,
     ):
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -185,6 +216,14 @@ class ControlLoopManager:
         self.resilience = resilience or ResilienceConfig()
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.fault_log = fault_log
+        self.backpressure: BackpressureState | None = (
+            BackpressureState()
+            if overload is not None and overload.backpressure
+            else None
+        )
+        self.brownout_cfg = (
+            overload if overload is not None and overload.brownout else None
+        )
         # HA hooks (see repro.control.ha). ``partition_guard`` runs at the
         # top of every actuation and may raise ActuationError (a partitioned
         # leader cannot reach the API, so its writes fail like any other
@@ -251,6 +290,10 @@ class ControlLoopManager:
             "retries": entry.retries,
             "breaker_trips": entry.breaker_trips,
             "breaker_skips": entry.breaker_skips,
+            "breaker_probes": entry.breaker_probes,
+            "breaker_reopens": entry.breaker_reopens,
+            "brownout_entries": entry.brownout_entries,
+            "brownout_exits": entry.brownout_exits,
         }
 
     def resilience_stats(self) -> dict[str, int]:
@@ -262,6 +305,10 @@ class ControlLoopManager:
             "retries": 0,
             "breaker_trips": 0,
             "breaker_skips": 0,
+            "breaker_probes": 0,
+            "breaker_reopens": 0,
+            "brownout_entries": 0,
+            "brownout_exits": 0,
         }
         for entry in self._entries.values():
             totals["safe_mode_entries"] += entry.safe_mode_entries
@@ -270,7 +317,23 @@ class ControlLoopManager:
             totals["retries"] += entry.retries
             totals["breaker_trips"] += entry.breaker_trips
             totals["breaker_skips"] += entry.breaker_skips
+            totals["breaker_probes"] += entry.breaker_probes
+            totals["breaker_reopens"] += entry.breaker_reopens
+            totals["brownout_entries"] += entry.brownout_entries
+            totals["brownout_exits"] += entry.brownout_exits
         return totals
+
+    def backpressure_stats(self) -> dict[str, int]:
+        """Deferred scale-up ledger counters (zeros when disabled)."""
+        if self.backpressure is None:
+            return {
+                "queued": 0,
+                "deferrals": 0,
+                "coalesced": 0,
+                "releases": 0,
+                "dropped": 0,
+            }
+        return self.backpressure.stats()
 
     # -- state export / restore (control-plane HA) ----------------------------------
 
@@ -302,6 +365,7 @@ class ControlLoopManager:
                 "breaker_open_until": entry.breaker_open_until,
                 "breaker_trips": entry.breaker_trips,
                 "breaker_skips": entry.breaker_skips,
+                "breaker_half_open": entry.breaker_half_open,
                 "directions": list(entry.directions),
                 "controller": entry.controller.export_state(),
             }
@@ -332,6 +396,9 @@ class ControlLoopManager:
             entry.breaker_open_until = float(app_state["breaker_open_until"])
             entry.breaker_trips = int(app_state["breaker_trips"])
             entry.breaker_skips = int(app_state["breaker_skips"])
+            entry.breaker_half_open = bool(
+                app_state.get("breaker_half_open", False)
+            )
             entry.directions.clear()
             entry.directions.extend(app_state["directions"])
             entry.controller.restore_state(app_state["controller"])
@@ -353,7 +420,12 @@ class ControlLoopManager:
             entry.last_good_allocation = None
             entry.consecutive_failures = 0
             entry.breaker_open_until = 0.0
+            entry.breaker_half_open = False
+            entry.brownout_high_periods = 0
+            entry.brownout_low_periods = 0
             entry.directions.clear()
+        if self.backpressure is not None:
+            self.backpressure.clear()
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -419,6 +491,7 @@ class ControlLoopManager:
     def _trip_breaker(self, entry: _Entry, now: float) -> None:
         entry.breaker_open_until = now + self.resilience.breaker_open_duration
         entry.breaker_trips += 1
+        entry.breaker_half_open = False
         if self.telemetry is not None:
             self.telemetry.breaker_trips.inc()
             self.telemetry.tracer.instant(
@@ -480,6 +553,13 @@ class ControlLoopManager:
                     sp.args["outcome"] = "failed"
                 self._on_actuation_failure(entry, action, on_success)
                 return False
+            if entry.breaker_half_open:
+                # Successful probe: the breaker is fully closed again.
+                entry.breaker_half_open = False
+                if tel is not None:
+                    tel.tracer.instant(
+                        "breaker_close", "control", app=entry.app.name,
+                    )
             entry.consecutive_failures = 0
             self._cancel_retry(entry)
             if sp is not None:
@@ -500,9 +580,15 @@ class ControlLoopManager:
     ) -> None:
         cfg = self.resilience
         entry.actuation_failures += 1
-        entry.consecutive_failures += 1
         if self.telemetry is not None:
             self.telemetry.actuation_failures.inc()
+        if entry.breaker_half_open:
+            # Failed probe: re-open immediately for another full window
+            # rather than counting toward the failure threshold.
+            entry.breaker_reopens += 1
+            self._trip_breaker(entry, self.engine.now)
+            return
+        entry.consecutive_failures += 1
         if entry.consecutive_failures >= cfg.breaker_failure_threshold:
             self._trip_breaker(entry, self.engine.now)
             return
@@ -552,6 +638,113 @@ class ControlLoopManager:
             entry.retry_action = None
             return
         self._actuate(entry, action, on_success=on_success, kind="retry")
+
+    # -- backpressure and brownout ---------------------------------------------------
+
+    def _distressed(self, now: float) -> bool:
+        """Whether any registered loop shows distress right now: a retry
+        pending, a breaker open or probing, safe mode, or unresolved
+        actuation failures."""
+        for entry in self._entries.values():
+            if (
+                entry.retry_handle is not None
+                or entry.safe_mode
+                or entry.breaker_half_open
+                or now < entry.breaker_open_until
+                or entry.consecutive_failures > 0
+            ):
+                return True
+        return False
+
+    def _apply_backpressure(
+        self, entry: _Entry, desired: int, current: int, now: float
+    ) -> int:
+        """Queue/coalesce grows under distress; drain queued grows when calm.
+
+        Returns the replica target to actually pursue this period.
+        """
+        bp = self.backpressure
+        app_name = entry.app.name
+        if self._distressed(now):
+            if desired > current:
+                bp.defer(app_name, desired)
+                desired = current
+                if self.telemetry is not None:
+                    self.telemetry.tracer.instant(
+                        "backpressure_defer", "control", app=app_name,
+                    )
+            elif desired < current:
+                # A reclaim supersedes any queued grow.
+                bp.drop(app_name)
+        else:
+            held = bp.release(app_name)
+            if held is not None and desired >= current:
+                desired = max(desired, held)
+        self.collector.record(
+            f"control/{app_name}/backpressure",
+            1.0 if bp.pending(app_name) else 0.0,
+        )
+        return desired
+
+    def _update_brownout(self, entry: _Entry, error: float | None, now: float) -> None:
+        """Hysteretic brownout: enter after ``brownout_enter_periods``
+        consecutive periods above the enter error, exit after
+        ``brownout_exit_periods`` below the (penalty-compensated) exit
+        error. The application object is the source of truth for the
+        active flag, so it survives controller failover.
+        """
+        cfg = self.brownout_cfg
+        app = entry.app
+        if not getattr(app, "brownout_capable", False):
+            return
+        if not app.brownout_active:
+            if error is not None and error >= cfg.brownout_enter_error:
+                entry.brownout_high_periods += 1
+            else:
+                entry.brownout_high_periods = 0
+            if entry.brownout_high_periods >= cfg.brownout_enter_periods:
+                entry.brownout_high_periods = 0
+                app.enter_brownout(
+                    factor=cfg.brownout_demand_factor,
+                    latency_penalty=cfg.brownout_latency_penalty,
+                )
+                entry.brownout_entries += 1
+                if self.fault_log is not None:
+                    entry.brownout_episode = self.fault_log.open(
+                        "brownout", app.name, now,
+                        detail=f"factor={cfg.brownout_demand_factor}",
+                    )
+                if self.telemetry is not None:
+                    self.telemetry.tracer.instant(
+                        "brownout_enter", "control", app=app.name,
+                    )
+        else:
+            # The latency penalty keeps the measured error from ever
+            # reaching zero; compensate the exit threshold so a service
+            # that would be healthy un-degraded can actually leave.
+            threshold = cfg.brownout_exit_error
+            plo = app.plo
+            if getattr(plo, "kind", None) == "latency" and plo.target > 0:
+                threshold += cfg.brownout_latency_penalty / plo.target
+            if error is not None and error <= threshold:
+                entry.brownout_low_periods += 1
+            else:
+                entry.brownout_low_periods = 0
+            if entry.brownout_low_periods >= cfg.brownout_exit_periods:
+                entry.brownout_low_periods = 0
+                app.exit_brownout()
+                entry.brownout_exits += 1
+                if self.fault_log is not None and entry.brownout_episode is not None:
+                    self.fault_log.close(entry.brownout_episode, now)
+                    entry.brownout_episode = None
+                if self.telemetry is not None:
+                    self.telemetry.tracer.instant(
+                        "brownout_exit", "control", app=app.name,
+                    )
+        self.collector.record(
+            f"control/{app.name}/brownout",
+            1.0 if app.brownout_active else 0.0,
+        )
 
     # -- the loop ----------------------------------------------------------------------
 
@@ -721,6 +914,21 @@ class ControlLoopManager:
         self.collector.record(f"{prefix}/safe_mode", 0.0)
 
         breaker_open = now < entry.breaker_open_until
+        if (
+            not breaker_open
+            and entry.breaker_open_until > 0.0
+            and not entry.breaker_half_open
+        ):
+            # The open window elapsed: go half-open instead of silently
+            # closing — the next actuation is a probe (success closes the
+            # breaker, failure re-opens it for another full window).
+            entry.breaker_half_open = True
+            entry.breaker_probes += 1
+            entry.breaker_open_until = 0.0
+            if self.telemetry is not None:
+                self.telemetry.tracer.instant(
+                    "breaker_half_open", "control", app=app.name,
+                )
         self.collector.record(
             f"{prefix}/breaker_open", 1.0 if breaker_open else 0.0
         )
@@ -778,8 +986,13 @@ class ControlLoopManager:
         elif entry.last_good_allocation is None:
             entry.last_good_allocation = app.current_allocation()
 
-        if entry.horizontal is not None:
+        if entry.horizontal is not None and now >= entry.breaker_open_until:
             desired = entry.horizontal.adjust(app, decision, entry.controller)
+            bp = self.backpressure
+            if bp is not None:
+                desired = self._apply_backpressure(
+                    entry, desired, app.replica_count, now
+                )
             if desired != app.replica_count:
 
                 def apply_horizontal(app=app, desired=desired) -> None:
@@ -788,6 +1001,9 @@ class ControlLoopManager:
                 if self.actuation_sink is not None:
                     self.actuation_sink(app.name, "scale", desired)
                 self._actuate(entry, apply_horizontal, kind="scale")
+
+        if self.brownout_cfg is not None:
+            self._update_brownout(entry, decision.error, now)
 
         self.collector.record(f"{prefix}/error", decision.error)
         self.collector.record(f"{prefix}/output", decision.output)

@@ -7,6 +7,15 @@ from typing import Mapping
 
 from repro.cluster.node import Node
 from repro.cluster.resources import ResourceVector
+from repro.scheduler.admission import OverloadConfig
+
+__all__ = [
+    "NodeGroup",
+    "ClusterSpec",
+    "build_nodes",
+    "OverloadConfig",
+    "PlatformConfig",
+]
 
 
 @dataclass(frozen=True)
@@ -139,6 +148,11 @@ class PlatformConfig:
     snapshot_interval: float | None = 60.0
     #: Delay before a statestore write is durable (fsync analogue).
     fsync_latency: float = 0.005
+    # -- overload resilience (repro.scheduler.admission) ----------------------
+    #: Admission control / load shedding, control-loop backpressure, and
+    #: brownout degradation. Every feature defaults off, keeping seeded
+    #: runs byte-identical to the pre-resilience platform.
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
     # -- observability (repro.obs) -------------------------------------------
     #: Enable causal decision tracing and the ``ctrl/*`` self-metrics
     #: registry. Observation-only: seeded runs are bit-identical with

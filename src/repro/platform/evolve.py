@@ -31,6 +31,7 @@ from repro.cluster.chaos import (
     NodeDegradationDomain,
     PartitionDomain,
     PartitionInjector,
+    ZoneOutageDomain,
 )
 from repro.cluster.quota import QuotaManager
 from repro.autoscaler.hpa import HorizontalPodAutoscaler
@@ -47,6 +48,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.metrics.faults import MetricsFaultInjector
 from repro.obs.telemetry import Telemetry
 from repro.platform.config import ClusterSpec, PlatformConfig, build_nodes
+from repro.scheduler.admission import AdmissionController
 from repro.scheduler.converged import ConvergedScheduler, SiloedScheduler
 from repro.scheduler.kube import KubeScheduler
 from repro.sim.engine import Engine
@@ -154,6 +156,21 @@ class EvolvePlatform:
             self.engine, self.collector, interval=self.config.plo_eval_interval
         )
         self.scheduler = self._build_scheduler(scheduler, silo_pools)
+        # -- overload resilience (ISSUE 6) -----------------------------------
+        # Admission control attaches to the scheduler's pending queue; it
+        # is only built when asked for, so default configs keep the
+        # scheduling path byte-identical.
+        self.admission: AdmissionController | None = None
+        if self.config.overload.admission:
+            if isinstance(self.scheduler, SiloedScheduler):
+                raise ValueError(
+                    "admission control is not supported by the siloed "
+                    "comparator scheduler"
+                )
+            self.admission = AdmissionController(
+                self.engine, self.api, self.config.overload
+            )
+            self.scheduler.admission = self.admission
         self.bounds = AllocationBounds(
             self.config.min_allocation, self.config.max_allocation
         )
@@ -255,7 +272,8 @@ class EvolvePlatform:
 
         ``domains`` selects the fault classes the monkey draws from:
         names ``"crash"`` / ``"degrade"`` — plus ``"controller-crash"`` /
-        ``"partition"`` when the replicated control plane is enabled — or
+        ``"partition"`` when the replicated control plane is enabled, and
+        ``"zone-outage"`` when the cluster spans multiple zones — or
         pre-built :class:`~repro.cluster.chaos.FaultDomain` objects.
         Defaults to crash-only (the legacy behaviour).
         """
@@ -293,11 +311,20 @@ class EvolvePlatform:
                                 self.control_plane, self.partition_faults, rng
                             )
                         )
+                elif dom == "zone-outage":
+                    if self.config.cluster.zones <= 1:
+                        raise ValueError(
+                            "fault domain 'zone-outage' needs a multi-zone "
+                            "cluster (set ClusterSpec.zones > 1)"
+                        )
+                    built.append(
+                        ZoneOutageDomain(self.injector, rng, log=self.fault_log)
+                    )
                 elif isinstance(dom, str):
                     raise ValueError(
                         f"unknown fault domain {dom!r}; choose 'crash', "
-                        "'degrade', 'controller-crash', 'partition', or pass "
-                        "a FaultDomain"
+                        "'degrade', 'controller-crash', 'partition', "
+                        "'zone-outage', or pass a FaultDomain"
                     )
                 else:
                     built.append(dom)
@@ -363,6 +390,7 @@ class EvolvePlatform:
         if name == "adaptive":
             kwargs.setdefault("rng", self.rng.stream("control/jitter"))
             kwargs.setdefault("fault_log", self.fault_log)
+            kwargs.setdefault("overload", self.config.overload)
             return AdaptiveAutoscaler(
                 self.engine,
                 self.collector,
@@ -548,6 +576,10 @@ class EvolvePlatform:
     def result(self) -> ExperimentResult:
         """Summarize the run so far."""
         end = self.engine.now
+        # Episodes never healed before the horizon (a zone still dark, a
+        # brownout still in force) get closed at the end time so the
+        # recovery analysis sees real durations, not dangling opens.
+        self.fault_log.close_open(end)
         start = 0.0
         util = utilization_summary(self.collector, start, max(end, 1e-9))
         makespans: dict[str, float | None] = {}

@@ -10,6 +10,11 @@
   statically-partitioned comparator (one node pool per world).
 """
 
+from repro.scheduler.admission import (
+    AdmissionController,
+    OverloadConfig,
+    classify_pod,
+)
 from repro.scheduler.base import SchedulerBase
 from repro.scheduler.kube import KubeScheduler
 from repro.scheduler.gang import GangAdmission
@@ -23,6 +28,9 @@ from repro.scheduler.preemption import (
 from repro.scheduler.converged import ConvergedScheduler, SiloedScheduler
 
 __all__ = [
+    "AdmissionController",
+    "OverloadConfig",
+    "classify_pod",
     "SchedulerBase",
     "KubeScheduler",
     "GangAdmission",

@@ -14,16 +14,30 @@ class SchedulerBase:
     Each cycle walks the pending queue in submission order and asks the
     policy (:meth:`schedule_cycle` / :meth:`select_node`) to place pods.
     Pods that cannot be placed stay pending and are retried next cycle.
+
+    ``admission`` optionally attaches an
+    :class:`~repro.scheduler.admission.AdmissionController`: the cycle
+    then routes its pending snapshot through the controller (class-aware
+    shedding and reordering under overload). ``None`` keeps the cycle
+    byte-identical to the admission-free behaviour.
     """
 
     policy_name = "base"
 
-    def __init__(self, engine: Engine, api: ClusterAPI, *, interval: float = 1.0):
+    def __init__(
+        self,
+        engine: Engine,
+        api: ClusterAPI,
+        *,
+        interval: float = 1.0,
+        admission=None,
+    ):
         if interval <= 0:
             raise ValueError("interval must be positive")
         self.engine = engine
         self.api = api
         self.interval = interval
+        self.admission = admission
         self._handle: PeriodicHandle | None = None
         self.cycles = 0
         self.binds = 0
@@ -47,7 +61,10 @@ class SchedulerBase:
 
     def schedule_cycle(self) -> None:
         """Default cycle: place each pending pod independently."""
-        for pod in self.api.pending_pods():
+        pending = self.api.pending_pods()
+        if self.admission is not None:
+            pending = self.admission.admit_cycle(pending)
+        for pod in pending:
             if not self.api.quota_allows_bind(pod.name):
                 self.failures += 1
                 continue
@@ -57,6 +74,8 @@ class SchedulerBase:
                 continue
             self.api.bind_pod(pod.name, node.name)
             self.binds += 1
+        if self.admission is not None:
+            self.admission.post_cycle()
 
     def select_node(self, pod: Pod) -> Node | None:
         """Pick a node for one pod, or None if unschedulable now. Override."""

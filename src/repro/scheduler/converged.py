@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro.cluster.api import ClusterAPI
 from repro.cluster.node import Node
 from repro.cluster.pod import Pod, WorkloadClass
+from repro.scheduler.admission import AdmissionController
 from repro.scheduler.base import SchedulerBase
 from repro.scheduler.gang import GangAdmission
 from repro.scheduler.interference import interference_penalty
@@ -48,6 +49,12 @@ class ConvergedScheduler(SchedulerBase):
         interference friendly) or ``"consolidate"`` (MostAllocated —
         packs work onto few nodes so idle ones can be parked; the energy
         experiment's knob).
+    admission:
+        Optional :class:`~repro.scheduler.admission.AdmissionController`.
+        When set, each cycle routes its pending snapshot through the
+        controller (class-aware shedding and reordering under overload);
+        when ``None`` (default) the cycle is byte-identical to the
+        pre-admission behaviour.
     zone_aware_gangs:
         Try to place each gang entirely inside one zone (fullest-first)
         before letting it span zones — cross-zone links stretch the
@@ -70,10 +77,11 @@ class ConvergedScheduler(SchedulerBase):
         packing: str = "spread",
         zone_aware_gangs: bool = True,
         score_cache: bool = True,
+        admission: "AdmissionController | None" = None,
     ):
         if packing not in ("spread", "consolidate"):
             raise ValueError(f"unknown packing mode {packing!r}")
-        super().__init__(engine, api, interval=interval)
+        super().__init__(engine, api, interval=interval, admission=admission)
         self.packing = packing
         self.zone_aware_gangs = zone_aware_gangs
         self.single_zone_gangs = 0
@@ -117,6 +125,8 @@ class ConvergedScheduler(SchedulerBase):
     def schedule_cycle(self) -> None:
         self._score_cache.clear()
         pending = self.api.pending_pods()
+        if self.admission is not None:
+            pending = self.admission.admit_cycle(pending)
         gangs: dict[str, list[Pod]] = {}
         singles: list[Pod] = []
         for pod in pending:
@@ -164,6 +174,9 @@ class ConvergedScheduler(SchedulerBase):
                 continue
             self.api.bind_pod(pod.name, node.name)
             self.binds += 1
+
+        if self.admission is not None:
+            self.admission.post_cycle()
 
     def _gang_assignment(self, members: list[Pod]) -> dict[str, str] | None:
         """Find a gang placement, preferring a single zone.

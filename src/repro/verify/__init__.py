@@ -5,8 +5,8 @@ machine-checked contracts:
 
 * :mod:`repro.verify.invariants` — a registry of cluster-wide safety
   invariants (resource conservation, no double-bind, gang atomicity,
-  single lease holder, WAL discipline, event-heap integrity) evaluated
-  at engine timestamp boundaries through
+  single lease holder, WAL discipline, event-heap integrity, load-shed
+  conservation) evaluated at engine timestamp boundaries through
   :meth:`repro.sim.engine.Engine.add_cycle_hook`.
 * :mod:`repro.verify.fuzzer` — a seeded scenario fuzzer that composes
   workload mixes, chaos schedules, and controller configs into short

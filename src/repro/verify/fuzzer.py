@@ -32,25 +32,32 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable
 
+from repro.cluster.chaos import ZoneOutageDomain
 from repro.cluster.events import PodScheduled
 from repro.cluster.resources import ResourceVector
-from repro.platform.config import ClusterSpec, PlatformConfig
+from repro.platform.config import ClusterSpec, OverloadConfig, PlatformConfig
 from repro.platform.evolve import EvolvePlatform
 from repro.sim.rng import RngRegistry
 from repro.storage.placement import spread_blocks
 from repro.verify.invariants import Invariant, InvariantChecker, Violation
 from repro.workloads.bigdata import Stage
-from repro.workloads.microservice import ServiceDemands
+from repro.workloads.microservice import Microservice, ServiceDemands
 from repro.workloads.plo import LatencyPLO
 from repro.workloads.stream import Operator
-from repro.workloads.traces import ConstantTrace, DiurnalTrace
+from repro.workloads.traces import ConstantTrace, DiurnalTrace, ScaledTrace
 
-#: Bump when the repro JSON layout changes incompatibly.
-FORMAT_VERSION = 1
+#: Bump when the repro JSON layout changes incompatibly. Version 2 adds
+#: ``zones`` / ``overload`` spec fields and the ``zone-outage`` /
+#: ``overload-surge`` chaos domains; version-1 files still load (the new
+#: fields default to the v1 behaviour).
+FORMAT_VERSION = 2
+SUPPORTED_FORMATS = (1, 2)
 
 WORKLOAD_KINDS = ("micro", "stream", "bigdata", "hpc")
 NODE_DOMAINS = ("crash", "degrade")
 CONTROLLER_DOMAINS = ("controller-crash", "partition")
+ZONE_DOMAINS = ("zone-outage",)
+OVERLOAD_DOMAINS = ("overload-surge",)
 
 #: Shrinking never reduces the horizon below this (the control loops
 #: need a few intervals to do anything at all).
@@ -120,6 +127,11 @@ class ScenarioSpec:
     scheduler: str = "converged"
     workloads: tuple[WorkloadSpec, ...] = ()
     chaos: tuple[ChaosEvent, ...] = ()
+    #: Availability zones (v2); 1 = flat cluster, the v1 behaviour.
+    zones: int = 1
+    #: Arm the overload-resilience stack (admission control,
+    #: backpressure, brownout) for this episode (v2; off in v1).
+    overload: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -131,15 +143,17 @@ class ScenarioSpec:
             "scheduler": self.scheduler,
             "workloads": [w.to_dict() for w in self.workloads],
             "chaos": [c.to_dict() for c in self.chaos],
+            "zones": self.zones,
+            "overload": self.overload,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioSpec":
         version = data.get("format", FORMAT_VERSION)
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_FORMATS:
             raise ValueError(
                 f"repro format {version} not supported "
-                f"(this build reads format {FORMAT_VERSION})"
+                f"(this build reads formats {SUPPORTED_FORMATS})"
             )
         return cls(
             seed=int(data["seed"]),
@@ -153,6 +167,8 @@ class ScenarioSpec:
             chaos=tuple(
                 ChaosEvent.from_dict(c) for c in data.get("chaos", ())
             ),
+            zones=int(data.get("zones", 1)),
+            overload=bool(data.get("overload", False)),
         )
 
     def to_json(self) -> str:
@@ -223,13 +239,20 @@ def generate_scenario(run_seed: int, index: int) -> ScenarioSpec:
     nodes = int(rng.integers(3, 6))
     horizon = float(rng.integers(4, 11)) * 60.0
     replicas = 3 if float(rng.random()) < 0.25 else 1
+    zones = 3 if float(rng.random()) < 0.3 else 1
+    overload = bool(float(rng.random()) < 0.5)
     workloads = tuple(
         _draw_workload(
             WORKLOAD_KINDS[int(rng.integers(len(WORKLOAD_KINDS)))], i, rng
         )
         for i in range(int(rng.integers(1, 5)))
     )
-    domains = NODE_DOMAINS + (CONTROLLER_DOMAINS if replicas > 1 else ())
+    domains = (
+        NODE_DOMAINS
+        + (CONTROLLER_DOMAINS if replicas > 1 else ())
+        + (ZONE_DOMAINS if zones > 1 else ())
+        + OVERLOAD_DOMAINS
+    )
     chaos = tuple(
         ChaosEvent(
             domain=domains[int(rng.integers(len(domains)))],
@@ -246,6 +269,8 @@ def generate_scenario(run_seed: int, index: int) -> ScenarioSpec:
         controller_replicas=replicas,
         workloads=workloads,
         chaos=chaos,
+        zones=zones,
+        overload=overload,
     )
 
 
@@ -257,11 +282,16 @@ def build_platform(
 ) -> EvolvePlatform:
     """Materialize a spec: platform + workloads + explicit chaos schedule."""
     platform = EvolvePlatform(
-        cluster_spec=ClusterSpec(node_count=spec.nodes),
+        cluster_spec=ClusterSpec(node_count=spec.nodes, zones=spec.zones),
         config=PlatformConfig(
             seed=spec.seed,
             controller_replicas=spec.controller_replicas,
             telemetry=telemetry,
+            overload=OverloadConfig(
+                admission=spec.overload,
+                backpressure=spec.overload,
+                brownout=spec.overload,
+            ),
         ),
         scheduler=spec.scheduler,
         policy="adaptive",
@@ -421,6 +451,47 @@ def _schedule_chaos(platform: EvolvePlatform, event: ChaosEvent) -> None:
             ):
                 plane.restart_replica(index)
 
+    elif event.domain == "zone-outage":
+
+        def strike() -> None:
+            dom = ZoneOutageDomain(
+                platform.injector, log=platform.fault_log
+            )
+            zones = dom.zones()
+            if not zones:
+                return
+            token["zone"] = dom.strike_zone(zones[event.target % len(zones)])
+            token["dom"] = dom
+
+        def heal() -> None:
+            dom = token.get("dom")
+            if dom is not None:
+                dom.heal(token["zone"])
+
+    elif event.domain == "overload-surge":
+        # A flash crowd, not a fault injection: multiply one
+        # microservice's offered load by 4× for the window, restoring
+        # the original trace afterwards. Exercises the shed → brownout →
+        # recover pipeline when the spec armed the overload stack.
+
+        def strike() -> None:
+            services = [
+                app
+                for _name, app in sorted(platform.apps.items())
+                if isinstance(app, Microservice)
+            ]
+            if not services:
+                return
+            app = services[event.target % len(services)]
+            token["app"] = app
+            token["trace"] = app.trace
+            app.trace = ScaledTrace(app.trace, 4.0)
+
+        def heal() -> None:
+            app = token.get("app")
+            if app is not None:
+                app.trace = token["trace"]
+
     elif event.domain == "partition":
 
         def strike() -> None:
@@ -551,7 +622,8 @@ def shrink(
     """Greedily minimize a failing spec.
 
     Reduction moves, tried to a fixpoint: drop one workload, drop one
-    chaos event, drop the replicated control plane, halve the horizon.
+    chaos event, drop the replicated control plane, flatten the zones,
+    disable the overload stack, halve the horizon.
     A candidate is kept only if ``still_fails`` — so the result is
     1-minimal with respect to these moves (dropping any single remaining
     element makes the failure disappear), within an evaluation budget.
@@ -592,6 +664,18 @@ def shrink(
             continue
         if current.controller_replicas > 1:
             candidate = replace(current, controller_replicas=1)
+            if attempt(candidate):
+                current = candidate
+                improved = True
+                continue
+        if current.zones > 1:
+            candidate = replace(current, zones=1)
+            if attempt(candidate):
+                current = candidate
+                improved = True
+                continue
+        if current.overload:
+            candidate = replace(current, overload=False)
             if attempt(candidate):
                 current = candidate
                 improved = True

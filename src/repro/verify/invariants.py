@@ -29,6 +29,11 @@ properties must hold:
   pending/cancelled counters agree with an O(heap) audit of the real
   heap, which catches events pushed onto a stale heap alias (the PR 4
   compaction bug) the moment they are orphaned.
+* **shed-conservation** — load-shed pods are conserved, not
+  double-counted: a shed pod is terminal, holds no node resources, and
+  never reappears in the pending queue under its old name; the admission
+  controller's shed counters agree exactly with the ``load-shed``
+  evictions the cluster actually published.
 
 All checks are observation-only: no scheduling, no RNG draws, no state
 mutation outside the checker itself — a seeded run is bit-identical with
@@ -73,7 +78,7 @@ class InvariantViolation(AssertionError):
 class CheckContext:
     """What invariants are allowed to see (read-only by contract)."""
 
-    __slots__ = ("engine", "cluster", "control_plane", "statestore")
+    __slots__ = ("engine", "cluster", "control_plane", "statestore", "scheduler")
 
     def __init__(
         self,
@@ -82,11 +87,13 @@ class CheckContext:
         *,
         control_plane=None,
         statestore=None,
+        scheduler=None,
     ):
         self.engine = engine
         self.cluster = cluster
         self.control_plane = control_plane
         self.statestore = statestore
+        self.scheduler = scheduler
 
 
 class Invariant:
@@ -408,6 +415,84 @@ class HeapIntegrity(Invariant):
         return out
 
 
+class ShedConservation(Invariant):
+    """Load-shed pods are conserved — shed exactly once, gone for good.
+
+    Every ``load-shed`` eviction the cluster publishes is cross-checked
+    against live state (the shed pod must be terminal, hold no node
+    resources, and never reappear in the pending queue — replacement
+    replicas get fresh names) and against the admission controller's own
+    ledger: ``shed_total`` equals the observed eviction count, the
+    per-class tallies sum to it, and the pending-rejection /
+    running-eviction split accounts for every shed. A mismatch means a
+    shed pod was double-counted (or lost) somewhere between the
+    scheduler, the cluster, and the stats the benchmarks report.
+    """
+
+    name = "shed-conservation"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shed: set[str] = set()
+        self._observed = 0
+
+    def bind(self, ctx: CheckContext) -> None:
+        def on_evicted(event: PodEvicted) -> None:
+            if event.reason == "load-shed":
+                self._observed += 1
+                self._shed.add(event.pod_name)
+
+        self._unsubscribe.append(
+            ctx.cluster.events.subscribe(PodEvicted, on_evicted)
+        )
+
+    def check(self, ctx: CheckContext) -> Iterable[str]:
+        out: list[str] = []
+        for name in self._shed:
+            pod = ctx.cluster.pods.get(name)
+            if pod is not None and not pod.terminal:
+                out.append(
+                    f"shed pod {name} resurrected in phase {pod.phase.value}"
+                )
+        for pod in ctx.cluster.pending_pods():
+            if pod.name in self._shed:
+                out.append(f"shed pod {pod.name} back in the pending queue")
+        for node in ctx.cluster.nodes.values():
+            for pod_name in node.pods:
+                if pod_name in self._shed:
+                    out.append(
+                        f"shed pod {pod_name} still holds resources on "
+                        f"node {node.name}"
+                    )
+        admission = getattr(ctx.scheduler, "admission", None)
+        if admission is not None:
+            if admission.shed_total != self._observed:
+                out.append(
+                    f"admission ledger counts {admission.shed_total} sheds "
+                    f"but the cluster published {self._observed} load-shed "
+                    "evictions"
+                )
+            by_class = sum(admission.shed_by_class.values())
+            if by_class != admission.shed_total:
+                out.append(
+                    f"per-class shed tallies sum to {by_class}, not "
+                    f"shed_total {admission.shed_total}"
+                )
+            split = admission.rejected_pending + admission.evicted_running
+            if split != admission.shed_total:
+                out.append(
+                    f"shed split {admission.rejected_pending} rejected + "
+                    f"{admission.evicted_running} evicted != shed_total "
+                    f"{admission.shed_total}"
+                )
+        elif self._observed:
+            out.append(
+                f"{self._observed} load-shed evictions published with no "
+                "admission controller attached"
+            )
+        return out
+
+
 def default_invariants() -> list[Invariant]:
     """Fresh instances of the full registry (order = check order)."""
     return [
@@ -417,6 +502,7 @@ def default_invariants() -> list[Invariant]:
         LeaseDiscipline(),
         WalDiscipline(),
         HeapIntegrity(),
+        ShedConservation(),
     ]
 
 
@@ -447,6 +533,7 @@ class InvariantChecker:
         *,
         control_plane=None,
         statestore=None,
+        scheduler=None,
         invariants: Sequence[Invariant] | None = None,
         every: int = 1,
         on_violation: str = "record",
@@ -462,6 +549,7 @@ class InvariantChecker:
             cluster,
             control_plane=control_plane,
             statestore=statestore,
+            scheduler=scheduler,
         )
         self.invariants = (
             list(invariants) if invariants is not None else default_invariants()
@@ -488,6 +576,7 @@ class InvariantChecker:
             platform.cluster,
             control_plane=platform.control_plane,
             statestore=platform.statestore,
+            scheduler=platform.scheduler,
             every=every,
             **kwargs,
         )

@@ -165,6 +165,18 @@ class Microservice(Application):
         self.tail_factor = tail_factor
         self.max_latency = max_latency
         self.queue_limit_seconds = queue_limit_seconds
+        # -- brownout: the degraded PLO tier -------------------------------
+        # While browned out, per-request demand is multiplied by
+        # ``brownout_factor`` (serving a cheaper response) and the reported
+        # latency carries a fixed penalty — the price users pay for the
+        # degraded tier. The control loop drives enter/exit.
+        self.brownout_capable = True
+        self.brownout_active = False
+        self.brownout_factor = 1.0
+        self.brownout_penalty = 0.0
+        self.brownout_seconds = 0.0
+        self.brownouts_entered = 0
+        self._brownout_cache: tuple | None = None
         self.total_dropped = 0.0
         self.current_drop_rate = 0.0
         self._replica_state: dict[str, _ReplicaState] = {}
@@ -188,10 +200,51 @@ class Microservice(Application):
                 break
         return current
 
+    # -- brownout ------------------------------------------------------------
+
+    def enter_brownout(self, *, factor: float, latency_penalty: float) -> None:
+        """Enter the degraded tier: per-request demand × ``factor`` at a
+        ``latency_penalty``-second cost on reported latency."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("brownout factor must be in (0, 1]")
+        if latency_penalty < 0:
+            raise ValueError("latency_penalty must be non-negative")
+        self.brownout_active = True
+        self.brownout_factor = float(factor)
+        self.brownout_penalty = float(latency_penalty)
+        self.brownouts_entered += 1
+
+    def exit_brownout(self) -> None:
+        """Restore the full-fidelity tier."""
+        self.brownout_active = False
+
+    def _degraded_demands(self, demands: ServiceDemands) -> ServiceDemands:
+        cached = self._brownout_cache
+        if (
+            cached is not None
+            and cached[0] is demands
+            and cached[1] == self.brownout_factor
+        ):
+            return cached[2]
+        factor = self.brownout_factor
+        degraded = ServiceDemands(
+            cpu_seconds=demands.cpu_seconds * factor,
+            disk_mb=demands.disk_mb * factor,
+            net_mb=demands.net_mb * factor,
+            mem_base=demands.mem_base,
+            mem_per_inflight=demands.mem_per_inflight,
+            base_latency=demands.base_latency,
+        )
+        self._brownout_cache = (demands, factor, degraded)
+        return degraded
+
     # -- dynamics -----------------------------------------------------------------
 
     def tick(self, dt: float, now: float) -> None:
         demands = self.demands_at(now)
+        if self.brownout_active:
+            demands = self._degraded_demands(demands)
+            self.brownout_seconds += dt
         offered = max(0.0, self.trace.rate(now))
         running = self.running_pods()
         self.current_offered = offered
@@ -237,6 +290,10 @@ class Microservice(Application):
         self.current_backlog = backlog_total
         self.current_bottleneck = max(bottleneck_votes, key=bottleneck_votes.get)
         self.total_served += served_total
+        if self.brownout_active and self.brownout_penalty > 0:
+            self.current_latency = min(
+                self.max_latency, self.current_latency + self.brownout_penalty
+            )
 
     def _step_replica(
         self,
@@ -305,4 +362,11 @@ class Microservice(Application):
                 "dropped_total": self.total_dropped,
             }
         )
+        # Brownout gauges appear only once the service has ever browned
+        # out, so the exported series set — and with it the per-sample
+        # fault-filter draw order — is untouched in runs with the
+        # feature disabled.
+        if self.brownouts_entered:
+            metrics["brownout"] = 1.0 if self.brownout_active else 0.0
+            metrics["brownout_seconds"] = self.brownout_seconds
         return metrics

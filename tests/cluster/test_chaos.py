@@ -10,6 +10,7 @@ from repro.cluster.chaos import (
     FaultLog,
     NodeCrashDomain,
     NodeDegradationDomain,
+    ZoneOutageDomain,
 )
 from repro.cluster.cluster import ClusterError
 from repro.cluster.pod import PodPhase
@@ -341,3 +342,114 @@ class TestChaosMonkey:
             return [(f.time, f.node_name) for f in inj.failures]
 
         assert run(explicit=False) == run(explicit=True)
+
+
+@pytest.fixture
+def zoned_cluster(engine):
+    from repro.cluster.cluster import Cluster, ClusterConfig
+    from repro.cluster.node import Node
+
+    nodes = [
+        Node(
+            f"node-{z}-{i}",
+            ResourceVector(cpu=8, memory=32, disk_bw=100, net_bw=100),
+            labels={"zone": f"z{z}"},
+        )
+        for z in range(3)
+        for i in range(2)
+    ]
+    return Cluster(engine, nodes, config=ClusterConfig(startup_delay=5.0))
+
+
+class TestZoneOutageDomain:
+    def test_strike_zone_fails_whole_zone_one_episode(
+        self, engine, zoned_cluster
+    ):
+        injector = FailureInjector(zoned_cluster)
+        dom = ZoneOutageDomain(injector)
+        zoned_cluster.submit(make_spec("a", cpu=2))
+        zoned_cluster.submit(make_spec("b", cpu=2))
+        zoned_cluster.bind("a", "node-1-0")
+        zoned_cluster.bind("b", "node-1-1")
+        engine.run_until(10.0)
+        token = dom.strike_zone("z1")
+        assert injector.failed_nodes() == ["node-1-0", "node-1-1"]
+        assert zoned_cluster.get_pod("a").phase == PodPhase.EVICTED
+        assert zoned_cluster.get_pod("b").phase == PodPhase.EVICTED
+        assert dom.outages == 1 and dom.pods_displaced == 2
+        # One zone-outage episode for the whole strike, blast radius in
+        # the detail; per-node crash episodes ride underneath it.
+        episodes = injector.log.by_kind("zone-outage")
+        assert len(episodes) == 1
+        assert episodes[0].target == "z1" and episodes[0].active
+        assert episodes[0].detail == "nodes=2 pods_displaced=2"
+        assert len(injector.log.by_kind("node-crash")) == 2
+        zone, victims, _ = token
+        assert zone == "z1" and victims == ("node-1-0", "node-1-1")
+
+    def test_heal_recovers_and_closes_episode(self, engine, zoned_cluster):
+        injector = FailureInjector(zoned_cluster)
+        dom = ZoneOutageDomain(injector)
+        engine.run_until(10.0)
+        token = dom.strike_zone("z0")
+        engine.run_until(50.0)
+        dom.heal(token)
+        assert injector.failed_nodes() == []
+        episode = injector.log.by_kind("zone-outage")[0]
+        assert not episode.active
+        assert episode.duration() == pytest.approx(40.0)
+
+    def test_heal_tolerates_external_recovery(self, engine, zoned_cluster):
+        injector = FailureInjector(zoned_cluster)
+        dom = ZoneOutageDomain(injector)
+        token = dom.strike_zone("z2")
+        injector.recover_node("node-2-0")  # operator beat the domain to it
+        dom.heal(token)  # must not raise on the already-healthy node
+        assert injector.failed_nodes() == []
+
+    def test_zones_lists_only_healthy_zones(self, engine, zoned_cluster):
+        injector = FailureInjector(zoned_cluster)
+        dom = ZoneOutageDomain(injector)
+        assert dom.zones() == ["z0", "z1", "z2"]
+        dom.strike_zone("z1")
+        assert dom.zones() == ["z0", "z2"]
+
+    def test_strike_empty_zone_rejected(self, engine, zoned_cluster):
+        injector = FailureInjector(zoned_cluster)
+        dom = ZoneOutageDomain(injector)
+        with pytest.raises(ClusterError):
+            dom.strike_zone("nope")
+
+    def test_random_strike_needs_rng(self, engine, zoned_cluster):
+        injector = FailureInjector(zoned_cluster)
+        dom = ZoneOutageDomain(injector)
+        with pytest.raises(ClusterError):
+            dom.strike()
+        seeded = ZoneOutageDomain(injector, np.random.default_rng(7))
+        token = seeded.strike()
+        assert token is not None and seeded.outages == 1
+
+    def test_unlabelled_cluster_has_no_zones(self, engine, cluster):
+        injector = FailureInjector(cluster)
+        dom = ZoneOutageDomain(injector, np.random.default_rng(7))
+        assert dom.zones() == []
+        assert dom.strike() is None
+
+
+class TestFaultLogCloseOpen:
+    def test_closes_only_open_episodes(self):
+        log = FaultLog()
+        done = log.open("node-crash", "node-0", 10.0)
+        log.close(done, 20.0)
+        still_open = log.open("zone-outage", "z1", 30.0)
+        assert log.close_open(100.0) == 1
+        assert not still_open.active
+        assert still_open.duration() == pytest.approx(70.0)
+        assert done.duration() == pytest.approx(10.0)  # untouched
+
+    def test_idempotent(self):
+        log = FaultLog()
+        log.open("brownout", "svc", 5.0)
+        assert log.close_open(50.0) == 1
+        assert log.close_open(60.0) == 0
+        assert log.episodes[0].end == 50.0

@@ -170,3 +170,57 @@ class TestResult:
         assert platform.engine.now == 50.0
         platform.run(50.0)
         assert platform.engine.now == 100.0
+
+
+class TestDanglingEpisodes:
+    """A fault that is never healed must not leave its episode open past
+    the end of the run — open episodes have no duration and silently
+    drop out of (or skew) the MTTR statistics."""
+
+    def test_result_closes_unhealed_episodes(self):
+        platform = small_platform()
+        platform.deploy_microservice(
+            "svc", trace=ConstantTrace(50), demands=DEMANDS,
+            allocation=ALLOC, plo=LatencyPLO(0.05), replicas=2,
+        )
+        platform.run(100.0)
+        platform.injector.fail_node("node-00")  # never recovered
+        platform.run(200.0)
+        result = platform.result()
+        assert result.duration == 300.0
+        episodes = platform.fault_log.by_kind("node-crash")
+        assert episodes and all(not e.active for e in episodes)
+        assert episodes[-1].end == 300.0
+        assert episodes[-1].duration() == pytest.approx(200.0)
+
+    def test_recovery_report_sees_closed_episodes(self):
+        from repro.analysis.recovery import fault_recovery_report
+
+        platform = small_platform(policy="adaptive")
+        platform.deploy_microservice(
+            "svc", trace=ConstantTrace(100), demands=DEMANDS,
+            allocation=ALLOC, plo=LatencyPLO(0.05), replicas=2,
+        )
+        platform.run(100.0)
+        platform.injector.fail_node("node-00")
+        platform.run(200.0)
+        platform.result()
+        reports = fault_recovery_report(
+            platform.fault_log, platform.collector, ["svc"],
+        )
+        assert reports
+        # Every episode now has a definite MTTR, including the dangler.
+        assert all(r.mttr is not None for r in reports)
+
+    def test_result_is_idempotent_on_episode_ends(self):
+        platform = small_platform()
+        platform.run(50.0)
+        platform.injector.fail_node("node-00")
+        platform.run(50.0)
+        platform.result()
+        end_first = platform.fault_log.episodes[0].end
+        platform.run(100.0)  # resumable run past the first result()
+        platform.result()
+        # close_open only touches episodes still open: the first close
+        # sticks even after the sim is resumed and re-aggregated.
+        assert platform.fault_log.episodes[0].end == end_first

@@ -390,6 +390,7 @@ class TestCheckerMechanics:
             "lease-discipline",
             "wal-discipline",
             "heap-integrity",
+            "shed-conservation",
         ]
 
     def test_validation(self):
