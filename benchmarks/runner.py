@@ -59,6 +59,7 @@ from benchmarks import bench_t7_fault_matrix as bench_t7
 from benchmarks import bench_t8_control_plane_outage as bench_t8
 from benchmarks import bench_t9_reaction_latency as bench_t9
 from benchmarks import bench_t10_overload as bench_t10
+from benchmarks import bench_t11_dataplane as bench_t11
 from benchmarks import bench_telemetry_overhead as bench_tel
 from benchmarks.scenarios import (
     HOUR,
@@ -383,6 +384,32 @@ def _run_t10(mode: str) -> dict:
         p["events"] for p in case["resilient"] + case["baseline"]
     ) + outage["events"]
     return {"seed": bench_t10.SEED, "events_executed": events,
+            "metrics": metrics}
+
+
+def _run_t11(mode: str) -> dict:
+    if mode == "smoke":
+        case = bench_t11.run_case(duration=900.0, levels=("calm", "harsh"))
+    else:
+        case = bench_t11.run_case()
+    bench_t11.check_case(case)
+    calm_ft = case["ft"][0]
+    harsh_ft = case["ft"][-1]
+    calm_base = case["baseline"][0]
+    metrics = {
+        "makespan_s/ft-calm": calm_ft["makespan"],
+        "makespan_s/ft-harsh": harsh_ft["makespan"],
+        "makespan_s/baseline-calm": calm_base["makespan"],
+        "stream_lag_s/ft-harsh": harsh_ft["stream_lag_seconds"],
+        "executor_losses": harsh_ft["executor_losses"],
+        "lineage_recomputes": harsh_ft["lineage_recomputes"],
+        "reopened_cpu_s": harsh_ft["reopened_work"],
+        "stream_restarts": harsh_ft["stream_restarts"],
+        "stream_replayed": harsh_ft["stream_replayed"],
+        "repair_traffic_mb": harsh_ft["repair_traffic_mb"],
+    }
+    events = sum(c["events"] for c in case["ft"] + case["baseline"])
+    return {"seed": bench_t11.SEED, "events_executed": events,
             "metrics": metrics}
 
 
@@ -836,6 +863,10 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "t10", "benchmarks.bench_t10_overload",
         "R-T10: overload resilience and graceful degradation", _run_t10,
         budgets={"events_executed": 55_000}),
+    Experiment(
+        "t11", "benchmarks.bench_t11_dataplane",
+        "R-T11: data-plane fault tolerance under injected faults", _run_t11,
+        budgets={"events_executed": 13_000}),
     Experiment(
         "f1", "benchmarks.bench_f1_latency_timeline",
         "R-F1: latency timeline per policy", _run_f1,

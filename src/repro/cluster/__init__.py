@@ -34,7 +34,9 @@ from repro.cluster.chaos import (
     ActuationFaultInjector,
     ChaosMonkey,
     ControllerCrashDomain,
+    DataLossDomain,
     DegradationInjector,
+    ExecutorKillDomain,
     FailureInjector,
     FaultEpisode,
     FaultLog,
@@ -42,6 +44,7 @@ from repro.cluster.chaos import (
     NodeDegradationDomain,
     PartitionDomain,
     PartitionInjector,
+    StragglerDomain,
 )
 from repro.cluster.quota import QuotaManager
 
@@ -65,6 +68,9 @@ __all__ = [
     "FaultLog",
     "NodeCrashDomain",
     "NodeDegradationDomain",
+    "ExecutorKillDomain",
+    "StragglerDomain",
+    "DataLossDomain",
     "QuotaManager",
     "RESOURCES",
     "ResourceVector",

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster, ClusterError
 from repro.cluster.node import Node
+from repro.cluster.pod import PodPhase, WorkloadClass
 from repro.cluster.resources import ResourceVector
 from repro.sim.engine import Engine
 
@@ -640,6 +641,154 @@ class PartitionDomain:
 
     def heal(self, token: object) -> None:
         self.injector.heal(str(token), self.plane.engine.now)
+
+
+class ExecutorKillDomain:
+    """Kill one running executor pod of a data-parallel job.
+
+    A much smaller blast radius than a node crash: the node stays up,
+    only the pod dies. With data-plane fault tolerance enabled the job
+    re-opens exactly the lost in-flight task share; without it, the
+    fluid model's global progress is untouched and only the executor
+    slot is lost until self-healing resubmits it.
+    """
+
+    name = "executor-kill"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        rng: np.random.Generator,
+        *,
+        workload_class: WorkloadClass = WorkloadClass.BIGDATA,
+        log: FaultLog | None = None,
+    ):
+        self.cluster = cluster
+        self.rng = rng
+        self.workload_class = workload_class
+        self.log = log
+        self.kills = 0
+
+    def strike(self) -> str | None:
+        candidates = sorted(
+            pod.name
+            for pod in self.cluster.pods.values()
+            if pod.phase is PodPhase.RUNNING
+            and pod.spec.workload_class is self.workload_class
+        )
+        if not candidates:
+            return None
+        victim = candidates[int(self.rng.integers(len(candidates)))]
+        self.cluster.evict(victim, reason="executor-kill")
+        self.kills += 1
+        if self.log is not None:
+            now = self.cluster.now
+            self.log.record("executor-kill", victim, now, now)
+        return victim
+
+    def heal(self, token: object) -> None:
+        """No-op: application self-healing resubmits the replica."""
+
+
+class StragglerDomain:
+    """Slow a healthy node down without killing it.
+
+    Models the sick-but-alive machine (failing disk, thermal throttling,
+    noisy neighbour) that motivates speculative execution: pods keep
+    their binds and report progress, just slowly. Sets
+    :attr:`Node.speed_factor`; only fault-tolerance-aware workload
+    models read it, so the domain is inert for default workloads.
+    """
+
+    name = "straggler"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        rng: np.random.Generator,
+        *,
+        factor: float = 0.3,
+        log: FaultLog | None = None,
+    ):
+        if not 0.0 < factor < 1.0:
+            raise ValueError("straggler factor must be in (0, 1)")
+        self.cluster = cluster
+        self.rng = rng
+        self.factor = factor
+        self.log = log
+        self.strikes = 0
+
+    def strike(self) -> object | None:
+        candidates = [
+            node
+            for node in self.cluster.nodes.values()
+            if node.speed_factor >= 1.0 and not node.allocatable.is_zero()
+        ]
+        if not candidates:
+            return None
+        victim = candidates[int(self.rng.integers(len(candidates)))]
+        victim.speed_factor = self.factor
+        self.strikes += 1
+        episode = None
+        if self.log is not None:
+            episode = self.log.open(
+                "node-straggler",
+                victim.name,
+                self.cluster.now,
+                detail=f"speed_factor={self.factor}",
+            )
+        return (victim.name, episode)
+
+    def heal(self, token: object) -> None:
+        name, episode = token
+        self.cluster.get_node(name).speed_factor = 1.0
+        if episode is not None:
+            self.log.close(episode, self.cluster.now)
+
+
+class DataLossDomain:
+    """Wipe every object-store replica held on one data-bearing node.
+
+    The disk dies but the node keeps computing — the failure mode that
+    exercises lineage recompute (a completed stage's shuffle output
+    vanishes) and the storage repair loop (objects drop below their
+    replication target) without any scheduler-visible capacity change.
+    """
+
+    name = "data-loss"
+
+    def __init__(
+        self,
+        store,
+        cluster: Cluster,
+        rng: np.random.Generator,
+        *,
+        log: FaultLog | None = None,
+    ):
+        self.store = store
+        self.cluster = cluster
+        self.rng = rng
+        self.log = log
+        self.strikes = 0
+        self.replicas_dropped = 0
+
+    def strike(self) -> str | None:
+        candidates = sorted(self.store.nodes_with_data())
+        if not candidates:
+            return None
+        victim = candidates[int(self.rng.integers(len(candidates)))]
+        dropped = self.store.drop_node(victim)
+        self.strikes += 1
+        self.replicas_dropped += dropped
+        if self.log is not None:
+            now = self.cluster.now
+            self.log.record(
+                "data-loss", victim, now, now, detail=f"replicas_dropped={dropped}"
+            )
+        return victim
+
+    def heal(self, token: object) -> None:
+        """No-op: wiped data does not come back; repair re-replicates."""
 
 
 class ChaosMonkey:

@@ -57,6 +57,11 @@ class Node:
         #: a cached score for (node, generation) is valid as long as the
         #: node's membership and capacity accounting are unchanged.
         self.generation = 0
+        #: Execution-speed multiplier in (0, 1]. 1.0 = nominal; chaos
+        #: (:class:`~repro.cluster.chaos.StragglerDomain`) lowers it to
+        #: model a sick-but-alive machine. Only fault-tolerance-aware
+        #: workload models consult it, so default runs are unaffected.
+        self.speed_factor = 1.0
 
     # -- accounting -----------------------------------------------------------
 

@@ -7,11 +7,17 @@ platform offers its users: deploy a service, submit an analytics job,
 submit an HPC job.
 """
 
-from repro.platform.config import ClusterSpec, PlatformConfig, build_nodes
+from repro.platform.config import (
+    ClusterSpec,
+    DataPlaneConfig,
+    PlatformConfig,
+    build_nodes,
+)
 from repro.platform.evolve import EvolvePlatform, ExperimentResult
 
 __all__ = [
     "ClusterSpec",
+    "DataPlaneConfig",
     "PlatformConfig",
     "build_nodes",
     "EvolvePlatform",

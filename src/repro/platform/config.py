@@ -7,12 +7,14 @@ from typing import Mapping
 
 from repro.cluster.node import Node
 from repro.cluster.resources import ResourceVector
+from repro.dataplane import DataPlaneConfig
 from repro.scheduler.admission import OverloadConfig
 
 __all__ = [
     "NodeGroup",
     "ClusterSpec",
     "build_nodes",
+    "DataPlaneConfig",
     "OverloadConfig",
     "PlatformConfig",
 ]
@@ -153,6 +155,11 @@ class PlatformConfig:
     #: brownout degradation. Every feature defaults off, keeping seeded
     #: runs byte-identical to the pre-resilience platform.
     overload: OverloadConfig = field(default_factory=OverloadConfig)
+    # -- data-plane fault tolerance (repro.dataplane) --------------------------
+    #: Big-data task engine (lineage recompute, speculation, retry
+    #: budgets), stream checkpoint/replay, and the object-store repair
+    #: loop. Defaults off; disabled runs are bit-identical to the seed.
+    data_plane: DataPlaneConfig = field(default_factory=DataPlaneConfig)
     # -- observability (repro.obs) -------------------------------------------
     #: Enable causal decision tracing and the ``ctrl/*`` self-metrics
     #: registry. Observation-only: seeded runs are bit-identical with

@@ -23,7 +23,9 @@ from repro.cluster.chaos import (
     ActuationFaultInjector,
     ChaosMonkey,
     ControllerCrashDomain,
+    DataLossDomain,
     DegradationInjector,
+    ExecutorKillDomain,
     FailureInjector,
     FaultDomain,
     FaultLog,
@@ -31,6 +33,7 @@ from repro.cluster.chaos import (
     NodeDegradationDomain,
     PartitionDomain,
     PartitionInjector,
+    StragglerDomain,
     ZoneOutageDomain,
 )
 from repro.cluster.quota import QuotaManager
@@ -54,6 +57,7 @@ from repro.scheduler.kube import KubeScheduler
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.storage.objectstore import ObjectStore
+from repro.storage.repair import StorageRepairService
 from repro.workloads.base import Application
 from repro.workloads.bigdata import BigDataJob, Stage
 from repro.workloads.hpc import HPCJob
@@ -212,6 +216,20 @@ class EvolvePlatform:
         self.injector = FailureInjector(self.cluster, log=self.fault_log)
         self.degrader = DegradationInjector(self.cluster, log=self.fault_log)
         self.chaos: ChaosMonkey | None = None
+        # -- data-plane fault tolerance (ISSUE 7) -----------------------------
+        # Only built when enabled: default runs keep the store liveness-
+        # blind and schedule no repair events, staying byte-identical.
+        self.repair: StorageRepairService | None = None
+        if self.config.data_plane.enabled:
+            self.store.node_liveness = self._node_live
+            if self.config.data_plane.repair:
+                self.repair = StorageRepairService(
+                    self.engine,
+                    self.store,
+                    self.api,
+                    config=self.config.data_plane,
+                    log=self.fault_log,
+                )
         self.telemetry: Telemetry | None = None
         if self.config.telemetry:
             self._enable_telemetry()
@@ -251,6 +269,10 @@ class EvolvePlatform:
             manager = getattr(policy, "manager", None)
             if manager is not None:
                 manager.telemetry = tel
+
+    def _node_live(self, name: str) -> bool:
+        """Store liveness predicate: a dark node serves no replicas."""
+        return not self.cluster.get_node(name).allocatable.is_zero()
 
     def set_tenant_quota(self, tenant: str, limit: ResourceVector) -> None:
         """Cap the total resources ``tenant``-labelled pods may hold.
@@ -312,7 +334,7 @@ class EvolvePlatform:
                             )
                         )
                 elif dom == "zone-outage":
-                    if self.config.cluster.zones <= 1:
+                    if self.cluster_spec.zones <= 1:
                         raise ValueError(
                             "fault domain 'zone-outage' needs a multi-zone "
                             "cluster (set ClusterSpec.zones > 1)"
@@ -320,11 +342,26 @@ class EvolvePlatform:
                     built.append(
                         ZoneOutageDomain(self.injector, rng, log=self.fault_log)
                     )
+                elif dom == "executor-kill":
+                    built.append(
+                        ExecutorKillDomain(self.cluster, rng, log=self.fault_log)
+                    )
+                elif dom == "straggler":
+                    built.append(
+                        StragglerDomain(self.cluster, rng, log=self.fault_log)
+                    )
+                elif dom == "data-loss":
+                    built.append(
+                        DataLossDomain(
+                            self.store, self.cluster, rng, log=self.fault_log
+                        )
+                    )
                 elif isinstance(dom, str):
                     raise ValueError(
                         f"unknown fault domain {dom!r}; choose 'crash', "
                         "'degrade', 'controller-crash', 'partition', "
-                        "'zone-outage', or pass a FaultDomain"
+                        "'zone-outage', 'executor-kill', 'straggler', "
+                        "'data-loss', or pass a FaultDomain"
                     )
                 else:
                     built.append(dom)
@@ -442,6 +479,7 @@ class EvolvePlatform:
         **kwargs,
     ) -> BigDataJob:
         """Submit an analytics job, optionally after ``delay`` seconds."""
+        kwargs.setdefault("ft", self.config.data_plane)
         job = BigDataJob(
             name,
             self.engine,
@@ -480,6 +518,7 @@ class EvolvePlatform:
         """
         from repro.workloads.stream import StreamJob
 
+        kwargs.setdefault("ft", self.config.data_plane)
         app = StreamJob(
             name,
             self.engine,
@@ -556,6 +595,8 @@ class EvolvePlatform:
         self._started = True
         self.collector.start()
         self.scheduler.start()
+        if self.repair is not None:
+            self.repair.start()
         if self.control_plane is not None:
             self.control_plane.start()
         else:

@@ -5,11 +5,26 @@ metadata only (sizes and replica locations); data movement costs are
 charged by the workload models through their disk/network bandwidth
 allocations. Remote reads are additionally discounted by
 ``remote_penalty`` to reflect protocol and cross-rack overheads.
+
+Liveness: replica sets are mutated only explicitly (``drop_node`` /
+``add_replica``), so after a node failure dead replicas keep counting
+toward locality until a repair loop removes them. Queries therefore
+accept a node-liveness predicate — or use :attr:`ObjectStore.node_liveness`
+as the default — so locality and bandwidth math can exclude dark nodes
+without waiting for repair. The predicate defaults to ``None`` (count
+everything), preserving seed behaviour bit-for-bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+
+#: Sentinel distinguishing "not passed" from an explicit ``live=None``.
+_UNSET = object()
+
+LivenessFn = Callable[[str], bool]
 
 
 class StorageError(RuntimeError):
@@ -24,13 +39,32 @@ class StorageObject:
     key: str
     size_mb: float
     replicas: frozenset[str] = field(default_factory=frozenset)
+    #: Intended replica count; ``None`` means "whatever it was written
+    #: with" (resolved at put() time). The repair loop re-replicates
+    #: objects whose live replica count falls below this.
+    target_replicas: int | None = None
 
     def __post_init__(self) -> None:
         if self.size_mb < 0:
             raise ValueError("size_mb must be non-negative")
+        if self.target_replicas is not None and self.target_replicas < 1:
+            raise ValueError("target_replicas must be >= 1")
 
     def is_local_to(self, node_name: str) -> bool:
         return node_name in self.replicas
+
+    @property
+    def target(self) -> int:
+        """Effective replication target."""
+        if self.target_replicas is not None:
+            return self.target_replicas
+        return max(1, len(self.replicas))
+
+    def live_replicas(self, live: LivenessFn | None) -> frozenset[str]:
+        """Replicas on nodes the predicate considers alive."""
+        if live is None:
+            return self.replicas
+        return frozenset(n for n in self.replicas if live(n))
 
 
 class ObjectStore:
@@ -47,6 +81,14 @@ class ObjectStore:
             raise ValueError("remote_penalty must be in (0, 1]")
         self.remote_penalty = remote_penalty
         self._buckets: dict[str, dict[str, StorageObject]] = {}
+        #: Default node-liveness predicate for dataset-level queries.
+        #: ``None`` (the default) counts every replica — seed behaviour.
+        #: The platform wires this to "node not dark" only when data-plane
+        #: fault tolerance is enabled.
+        self.node_liveness: LivenessFn | None = None
+        #: Bumped on every replica-set mutation; schedulers may fold it
+        #: into score-cache keys if replication ever changes mid-cycle.
+        self.epoch = 0
 
     # -- bucket/object CRUD ---------------------------------------------------
 
@@ -58,14 +100,29 @@ class ObjectStore:
     def has_bucket(self, bucket: str) -> bool:
         return bucket in self._buckets
 
+    def buckets(self) -> list[str]:
+        """Bucket names in sorted (deterministic) order."""
+        return sorted(self._buckets)
+
     def put(
-        self, bucket: str, key: str, size_mb: float, replicas: set[str] | frozenset[str]
+        self,
+        bucket: str,
+        key: str,
+        size_mb: float,
+        replicas: set[str] | frozenset[str],
+        *,
+        target_replicas: int | None = None,
     ) -> StorageObject:
         """Store object metadata; replicas are node names holding the data."""
         if bucket not in self._buckets:
             raise StorageError(f"unknown bucket {bucket!r}")
-        obj = StorageObject(bucket, key, size_mb, frozenset(replicas))
+        if target_replicas is None:
+            target_replicas = max(1, len(replicas))
+        obj = StorageObject(
+            bucket, key, size_mb, frozenset(replicas), target_replicas=target_replicas
+        )
         self._buckets[bucket][key] = obj
+        self.epoch += 1
         return obj
 
     def get(self, bucket: str, key: str) -> StorageObject:
@@ -79,19 +136,60 @@ class ObjectStore:
             del self._buckets[bucket][key]
         except KeyError:
             raise StorageError(f"unknown object {bucket!r}/{key!r}") from None
+        self.epoch += 1
 
     def list_objects(self, bucket: str) -> list[StorageObject]:
         if bucket not in self._buckets:
             raise StorageError(f"unknown bucket {bucket!r}")
         return list(self._buckets[bucket].values())
 
+    # -- replica mutation (repair / data-loss paths) -------------------------------
+
+    def drop_node(self, node_name: str) -> int:
+        """Remove ``node_name`` from every replica set (disk wiped).
+
+        Returns the number of replicas dropped. Objects may be left with
+        zero replicas — they are *lost* until a surviving copy exists
+        elsewhere, which :meth:`lost_objects` reports.
+        """
+        dropped = 0
+        for objects in self._buckets.values():
+            for key, obj in objects.items():
+                if node_name in obj.replicas:
+                    objects[key] = replace(obj, replicas=obj.replicas - {node_name})
+                    dropped += 1
+        if dropped:
+            self.epoch += 1
+        return dropped
+
+    def add_replica(self, bucket: str, key: str, node_name: str) -> StorageObject:
+        """Record a new replica of an existing object on ``node_name``."""
+        obj = self.get(bucket, key)
+        if node_name in obj.replicas:
+            return obj
+        obj = replace(obj, replicas=obj.replicas | {node_name})
+        self._buckets[bucket][key] = obj
+        self.epoch += 1
+        return obj
+
     # -- dataset-level queries ----------------------------------------------------
+
+    def _resolve_live(self, live) -> LivenessFn | None:
+        return self.node_liveness if live is _UNSET else live
 
     def bucket_size_mb(self, bucket: str) -> float:
         return sum(o.size_mb for o in self.list_objects(bucket))
 
-    def locality_fraction(self, bucket: str, node_name: str) -> float:
-        """Fraction of the bucket's bytes with a replica on ``node_name``."""
+    def locality_fraction(self, bucket: str, node_name: str, *, live=_UNSET) -> float:
+        """Fraction of the bucket's bytes with a replica on ``node_name``.
+
+        ``live`` is a node-liveness predicate; when it rejects
+        ``node_name`` itself the fraction is 0 (a dark node serves no
+        local reads). Defaults to :attr:`node_liveness`.
+        """
+        live = self._resolve_live(live)
+        if live is not None and not live(node_name):
+            return 0.0
         objects = self.list_objects(bucket)
         total = sum(o.size_mb for o in objects)
         if total <= 0:
@@ -99,9 +197,45 @@ class ObjectStore:
         local = sum(o.size_mb for o in objects if o.is_local_to(node_name))
         return local / total
 
-    def replica_nodes(self, bucket: str) -> set[str]:
-        """All nodes holding at least one block of the bucket."""
+    def replica_nodes(self, bucket: str, *, live=_UNSET) -> set[str]:
+        """All live nodes holding at least one block of the bucket."""
+        live = self._resolve_live(live)
         nodes: set[str] = set()
         for obj in self.list_objects(bucket):
             nodes |= obj.replicas
+        if live is not None:
+            nodes = {n for n in nodes if live(n)}
         return nodes
+
+    def nodes_with_data(self) -> set[str]:
+        """Every node holding at least one replica, across all buckets."""
+        nodes: set[str] = set()
+        for objects in self._buckets.values():
+            for obj in objects.values():
+                nodes |= obj.replicas
+        return nodes
+
+    def under_replicated(
+        self, bucket: str | None = None, *, live=_UNSET
+    ) -> list[StorageObject]:
+        """Objects whose live replica count is below target, sorted by key."""
+        live = self._resolve_live(live)
+        buckets = [bucket] if bucket is not None else self.buckets()
+        found: list[StorageObject] = []
+        for name in buckets:
+            for key in sorted(self._buckets.get(name, ())):
+                obj = self._buckets[name][key]
+                if len(obj.live_replicas(live)) < obj.target:
+                    found.append(obj)
+        return found
+
+    def lost_objects(self, bucket: str | None = None, *, live=_UNSET) -> list[StorageObject]:
+        """Objects with zero live replicas (data unrecoverable by repair)."""
+        live = self._resolve_live(live)
+        buckets = [bucket] if bucket is not None else self.buckets()
+        return [
+            obj
+            for name in buckets
+            for key in sorted(self._buckets.get(name, ()))
+            if not (obj := self._buckets[name][key]).live_replicas(live)
+        ]

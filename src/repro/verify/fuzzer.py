@@ -34,7 +34,9 @@ from typing import Callable
 
 from repro.cluster.chaos import ZoneOutageDomain
 from repro.cluster.events import PodScheduled
+from repro.cluster.pod import PodPhase, WorkloadClass
 from repro.cluster.resources import ResourceVector
+from repro.dataplane import DataPlaneConfig
 from repro.platform.config import ClusterSpec, OverloadConfig, PlatformConfig
 from repro.platform.evolve import EvolvePlatform
 from repro.sim.rng import RngRegistry
@@ -48,16 +50,23 @@ from repro.workloads.traces import ConstantTrace, DiurnalTrace, ScaledTrace
 
 #: Bump when the repro JSON layout changes incompatibly. Version 2 adds
 #: ``zones`` / ``overload`` spec fields and the ``zone-outage`` /
-#: ``overload-surge`` chaos domains; version-1 files still load (the new
-#: fields default to the v1 behaviour).
-FORMAT_VERSION = 2
-SUPPORTED_FORMATS = (1, 2)
+#: ``overload-surge`` chaos domains; version 3 adds the ``ft`` spec
+#: field (arming data-plane fault tolerance) and the ``executor-kill``
+#: / ``straggler`` / ``data-loss`` chaos domains. Older files still
+#: load (the new fields default to the old behaviour), and v3 draws its
+#: new scenario knobs strictly *after* every v2 draw, so ft-less
+#: episodes are bit-identical to the v2 fuzzer's.
+FORMAT_VERSION = 3
+SUPPORTED_FORMATS = (1, 2, 3)
 
 WORKLOAD_KINDS = ("micro", "stream", "bigdata", "hpc")
 NODE_DOMAINS = ("crash", "degrade")
 CONTROLLER_DOMAINS = ("controller-crash", "partition")
 ZONE_DOMAINS = ("zone-outage",)
 OVERLOAD_DOMAINS = ("overload-surge",)
+#: Data-plane fault domains (v3); only drawn when the spec arms ``ft``
+#: so the un-armed prefix of a run stays identical to v2.
+DATA_DOMAINS = ("executor-kill", "straggler", "data-loss")
 
 #: Shrinking never reduces the horizon below this (the control loops
 #: need a few intervals to do anything at all).
@@ -132,6 +141,9 @@ class ScenarioSpec:
     #: Arm the overload-resilience stack (admission control,
     #: backpressure, brownout) for this episode (v2; off in v1).
     overload: bool = False
+    #: Arm data-plane fault tolerance (task-granular big-data engine,
+    #: stream checkpoints, storage repair) for this episode (v3).
+    ft: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -145,6 +157,7 @@ class ScenarioSpec:
             "chaos": [c.to_dict() for c in self.chaos],
             "zones": self.zones,
             "overload": self.overload,
+            "ft": self.ft,
         }
 
     @classmethod
@@ -169,6 +182,7 @@ class ScenarioSpec:
             ),
             zones=int(data.get("zones", 1)),
             overload=bool(data.get("overload", False)),
+            ft=bool(data.get("ft", False)),
         )
 
     def to_json(self) -> str:
@@ -262,8 +276,25 @@ def generate_scenario(run_seed: int, index: int) -> ScenarioSpec:
         )
         for _ in range(int(rng.integers(0, 4)))
     )
+    seed = int(rng.integers(2**31 - 1))
+    # v3 draws happen strictly after every v2 draw (including the seed),
+    # so the v2 prefix of an episode's stream — and therefore every
+    # ft-less scenario — is bit-identical to what the v2 fuzzer drew.
+    ft = bool(float(rng.random()) < 0.35)
+    if ft:
+        chaos += tuple(
+            ChaosEvent(
+                domain=DATA_DOMAINS[int(rng.integers(len(DATA_DOMAINS)))],
+                at=round(
+                    float(rng.uniform(30.0, max(60.0, 0.6 * horizon))), 1
+                ),
+                duration=round(float(rng.uniform(30.0, 120.0)), 1),
+                target=int(rng.integers(16)),
+            )
+            for _ in range(int(rng.integers(1, 4)))
+        )
     return ScenarioSpec(
-        seed=int(rng.integers(2**31 - 1)),
+        seed=seed,
         horizon=horizon,
         nodes=nodes,
         controller_replicas=replicas,
@@ -271,6 +302,7 @@ def generate_scenario(run_seed: int, index: int) -> ScenarioSpec:
         chaos=chaos,
         zones=zones,
         overload=overload,
+        ft=ft,
     )
 
 
@@ -292,6 +324,7 @@ def build_platform(
                 backpressure=spec.overload,
                 brownout=spec.overload,
             ),
+            data_plane=DataPlaneConfig(enabled=spec.ft),
         ),
         scheduler=spec.scheduler,
         policy="adaptive",
@@ -492,6 +525,58 @@ def _schedule_chaos(platform: EvolvePlatform, event: ChaosEvent) -> None:
             if app is not None:
                 app.trace = token["trace"]
 
+    elif event.domain == "executor-kill":
+        # Kill one running data-parallel pod (bigdata executor or stream
+        # worker) — the small-blast-radius fault the task engine's
+        # share re-open and the stream checkpoint restart absorb.
+
+        def strike() -> None:
+            victims = sorted(
+                pod.name
+                for pod in platform.cluster.pods.values()
+                if pod.phase is PodPhase.RUNNING
+                and pod.spec.workload_class is WorkloadClass.BIGDATA
+            )
+            if not victims:
+                return
+            platform.cluster.evict(
+                victims[event.target % len(victims)], reason="executor-kill"
+            )
+
+        heal = None
+
+    elif event.domain == "straggler":
+
+        def strike() -> None:
+            candidates = [
+                node
+                for node in platform.cluster.nodes.values()
+                if node.speed_factor >= 1.0
+                and not node.allocatable.is_zero()
+            ]
+            if not candidates:
+                return
+            node = candidates[event.target % len(candidates)]
+            node.speed_factor = 0.3
+            token["node"] = node.name
+
+        def heal() -> None:
+            name = token.get("node")
+            if name is not None:
+                platform.cluster.get_node(name).speed_factor = 1.0
+
+    elif event.domain == "data-loss":
+        # Wipe one data-bearing node's replicas; no heal — the repair
+        # loop (armed whenever the spec sets ``ft``) re-replicates.
+
+        def strike() -> None:
+            nodes = sorted(platform.store.nodes_with_data())
+            if not nodes:
+                return
+            platform.store.drop_node(nodes[event.target % len(nodes)])
+
+        heal = None
+
     elif event.domain == "partition":
 
         def strike() -> None:
@@ -623,7 +708,8 @@ def shrink(
 
     Reduction moves, tried to a fixpoint: drop one workload, drop one
     chaos event, drop the replicated control plane, flatten the zones,
-    disable the overload stack, halve the horizon.
+    disable the overload stack, disable data-plane fault tolerance,
+    halve the horizon.
     A candidate is kept only if ``still_fails`` — so the result is
     1-minimal with respect to these moves (dropping any single remaining
     element makes the failure disappear), within an evaluation budget.
@@ -676,6 +762,16 @@ def shrink(
                 continue
         if current.overload:
             candidate = replace(current, overload=False)
+            if attempt(candidate):
+                current = candidate
+                improved = True
+                continue
+        if current.ft:
+            # Data-plane chaos events stay runnable with ft off (evict
+            # works regardless; speed_factor and dropped replicas are
+            # inert without the fault-tolerant models), so this move
+            # never needs to also prune the chaos list.
+            candidate = replace(current, ft=False)
             if attempt(candidate):
                 current = candidate
                 improved = True

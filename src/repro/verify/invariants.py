@@ -78,7 +78,16 @@ class InvariantViolation(AssertionError):
 class CheckContext:
     """What invariants are allowed to see (read-only by contract)."""
 
-    __slots__ = ("engine", "cluster", "control_plane", "statestore", "scheduler")
+    __slots__ = (
+        "engine",
+        "cluster",
+        "control_plane",
+        "statestore",
+        "scheduler",
+        "apps",
+        "store",
+        "repair",
+    )
 
     def __init__(
         self,
@@ -88,12 +97,18 @@ class CheckContext:
         control_plane=None,
         statestore=None,
         scheduler=None,
+        apps=None,
+        store=None,
+        repair=None,
     ):
         self.engine = engine
         self.cluster = cluster
         self.control_plane = control_plane
         self.statestore = statestore
         self.scheduler = scheduler
+        self.apps = apps
+        self.store = store
+        self.repair = repair
 
 
 class Invariant:
@@ -493,6 +508,93 @@ class ShedConservation(Invariant):
         return out
 
 
+class DataPlaneConservation(Invariant):
+    """Data-plane work is conserved across faults and recoveries.
+
+    For every fault-tolerant :class:`~repro.workloads.bigdata.BigDataJob`,
+    each cpu-second an executor retired must land in exactly one bucket
+    of the ledger: useful (tasks done or in flight), speculative
+    in-flight, wasted (losing duplicate copies), or reopened (lost to an
+    executor death or lineage recompute) —
+    ``retired = useful + spec_inflight + wasted + reopened``. Stage
+    attempt counters must respect the quarantine budget, and the fluid
+    stage counters must mirror the task state they are derived from.
+
+    For every :class:`~repro.workloads.stream.StreamJob` (fault-tolerant
+    or not), arrivals are conserved across checkpoint rollbacks:
+    ``total_arrived = total_processed + lag_events``.
+
+    The storage repair ledger must be self-consistent: bytes repaired
+    equal the repair traffic charged against the repair bandwidth.
+    """
+
+    name = "data-plane-conservation"
+
+    def check(self, ctx: CheckContext) -> Iterable[str]:
+        out: list[str] = []
+        apps = ctx.apps or {}
+        for app in apps.values():
+            accounting = getattr(app, "ft_accounting", None)
+            ledger = accounting() if callable(accounting) else None
+            if ledger is not None:
+                balance = (
+                    ledger["useful"]
+                    + ledger["spec_inflight"]
+                    + ledger["wasted"]
+                    + ledger["reopened"]
+                )
+                tol = _TOLERANCE * max(1.0, ledger["retired"])
+                if abs(ledger["retired"] - balance) > tol:
+                    out.append(
+                        f"job {app.name}: retired {ledger['retired']:.6f} != "
+                        f"useful {ledger['useful']:.6f} + spec "
+                        f"{ledger['spec_inflight']:.6f} + wasted "
+                        f"{ledger['wasted']:.6f} + reopened "
+                        f"{ledger['reopened']:.6f}"
+                    )
+                total_work = sum(s.work_cpu_seconds for s in app.stages)
+                if ledger["useful"] > total_work * (1 + _TOLERANCE) + _TOLERANCE:
+                    out.append(
+                        f"job {app.name}: useful work {ledger['useful']:.6f} "
+                        f"exceeds total stage work {total_work:.6f}"
+                    )
+                for stage in app.stages:
+                    rt = app._runtime[stage.name]
+                    if rt.attempts > app.ft.stage_max_attempts and not app.failed:
+                        out.append(
+                            f"job {app.name}: stage {stage.name} at "
+                            f"{rt.attempts} attempts (budget "
+                            f"{app.ft.stage_max_attempts}) without quarantine"
+                        )
+                    mirrored = sum(t.work_left for t in rt.tasks if not t.done)
+                    if abs(stage.remaining_work - mirrored) > _TOLERANCE * max(
+                        1.0, stage.work_cpu_seconds
+                    ):
+                        out.append(
+                            f"job {app.name}: stage {stage.name} fluid counter "
+                            f"{stage.remaining_work:.6f} != task-state sum "
+                            f"{mirrored:.6f}"
+                        )
+            arrived = getattr(app, "total_arrived", None)
+            if arrived is not None:
+                processed = app.total_processed
+                lag = app.lag_events
+                tol = _TOLERANCE * max(1.0, arrived)
+                if abs(arrived - (processed + lag)) > tol:
+                    out.append(
+                        f"stream {app.name}: arrived {arrived:.6f} != "
+                        f"processed {processed:.6f} + lag {lag:.6f}"
+                    )
+        repair = ctx.repair
+        if repair is not None:
+            if abs(repair.repaired_mb - repair.repair_traffic_mb) > _TOLERANCE:
+                out.append(
+                    f"repair ledger: repaired {repair.repaired_mb:.6f} MB != "
+                    f"traffic charged {repair.repair_traffic_mb:.6f} MB"
+                )
+        return out
+
+
 def default_invariants() -> list[Invariant]:
     """Fresh instances of the full registry (order = check order)."""
     return [
@@ -503,6 +605,7 @@ def default_invariants() -> list[Invariant]:
         WalDiscipline(),
         HeapIntegrity(),
         ShedConservation(),
+        DataPlaneConservation(),
     ]
 
 
@@ -534,6 +637,9 @@ class InvariantChecker:
         control_plane=None,
         statestore=None,
         scheduler=None,
+        apps=None,
+        store=None,
+        repair=None,
         invariants: Sequence[Invariant] | None = None,
         every: int = 1,
         on_violation: str = "record",
@@ -550,6 +656,9 @@ class InvariantChecker:
             control_plane=control_plane,
             statestore=statestore,
             scheduler=scheduler,
+            apps=apps,
+            store=store,
+            repair=repair,
         )
         self.invariants = (
             list(invariants) if invariants is not None else default_invariants()
@@ -577,6 +686,9 @@ class InvariantChecker:
             control_plane=platform.control_plane,
             statestore=platform.statestore,
             scheduler=platform.scheduler,
+            apps=platform.apps,
+            store=getattr(platform, "store", None),
+            repair=getattr(platform, "repair", None),
             every=every,
             **kwargs,
         )

@@ -10,19 +10,34 @@ bandwidth, remote ones over penalized network bandwidth).
 Stages execute in topological order, one at a time (the common Spark
 shape where a shuffle barrier separates stages); parallelism within a
 stage is capped by its task count.
+
+Fault tolerance (opt-in via :class:`~repro.dataplane.DataPlaneConfig`):
+with ``ft.enabled`` the fluid model is replaced by a task-granular
+engine — each stage splits into ``max_parallelism`` tasks, in-flight
+task progress is lost when its executor dies (only that share re-opens),
+completed tasks remember which node holds their shuffle output so losing
+that node re-opens exactly the upstream work (lineage recompute),
+stragglers get speculative duplicate copies (first finish wins), and
+each stage carries a retry budget with exponential backoff before the
+job is failed with a poison-stage quarantine. With ``ft`` unset the
+fluid path runs untouched and seeded results are bit-identical to
+builds without any of this.
 """
 
 from __future__ import annotations
 
 import math
+import statistics
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import networkx as nx
 
 from repro.cluster.api import ClusterAPI
+from repro.cluster.cluster import NodeNotFound
 from repro.cluster.pod import Pod, WorkloadClass
 from repro.cluster.resources import ResourceVector
+from repro.dataplane import DataPlaneConfig
 from repro.sim.engine import Engine
 from repro.storage.objectstore import ObjectStore
 from repro.workloads.base import Application
@@ -102,6 +117,86 @@ def _validate_dag(stages: Sequence[Stage]) -> list[Stage]:
     return [by_name[name] for name in order]
 
 
+_TASK_EPS = 1e-9
+
+
+@dataclass
+class _Task:
+    """One task of a stage under the fault-tolerant engine.
+
+    A task runs on at most one primary executor plus, optionally, one
+    speculative copy. Work/input drain independently per copy; the first
+    copy to finish retires the task and the loser's progress is wasted.
+    """
+
+    index: int
+    work: float
+    input_mb: float
+    work_left: float = field(init=False)
+    input_left: float = field(init=False)
+    runner: str | None = None
+    started_at: float | None = None
+    spec_runner: str | None = None
+    spec_started_at: float | None = None
+    spec_work_left: float = 0.0
+    spec_input_left: float = 0.0
+    done: bool = False
+    #: Node holding this task's (shuffle) output once done, and the
+    #: wipe-epoch of that node at completion time — outputs written
+    #: before a node went dark are gone even after it recovers.
+    output_node: str | None = None
+    output_epoch: int = 0
+    #: Earliest time the task may be (re-)dispatched (retry backoff).
+    dispatch_after: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.work_left = self.work
+        self.input_left = self.input_mb
+
+    @property
+    def speculating(self) -> bool:
+        return self.spec_runner is not None
+
+    def progress(self) -> float:
+        """Primary-copy retired work (cpu-seconds)."""
+        return 0.0 if self.done else self.work - self.work_left
+
+    def spec_progress(self) -> float:
+        return (self.work - self.spec_work_left) if self.speculating else 0.0
+
+
+class _StageTasks:
+    """Task-granular runtime state for one stage."""
+
+    def __init__(self, stage: Stage):
+        self.stage = stage
+        n = stage.max_parallelism
+        work = stage.work_cpu_seconds / n
+        input_mb = stage.input_mb / n
+        self.tasks = [_Task(i, work, input_mb) for i in range(n)]
+        #: Fault-driven re-open batches this stage has absorbed.
+        self.attempts = 0
+
+    def done_count(self) -> int:
+        return sum(1 for t in self.tasks if t.done)
+
+    def useful_work(self) -> float:
+        return sum(t.work if t.done else t.work - t.work_left for t in self.tasks)
+
+    def spec_inflight(self) -> float:
+        return sum(t.spec_progress() for t in self.tasks if not t.done)
+
+    def sync_stage(self) -> None:
+        """Mirror task state into the stage's fluid counters so
+        ``Stage.complete`` / ``progress`` / metrics work unchanged."""
+        self.stage.remaining_work = sum(
+            t.work_left for t in self.tasks if not t.done
+        )
+        self.stage.remaining_input = sum(
+            t.input_left for t in self.tasks if not t.done
+        )
+
+
 class BigDataJob(Application):
     """An elastic analytics job whose executors are cluster pods.
 
@@ -135,6 +230,7 @@ class BigDataJob(Application):
         dataset: str | None = None,
         deadline: float | None = None,
         accelerator: str | None = None,
+        ft: DataPlaneConfig | None = None,
         tick_interval: float = 1.0,
         priority: int = 5,
         labels: Mapping[str, str] | None = None,
@@ -167,6 +263,31 @@ class BigDataJob(Application):
         self.completed_at: float | None = None
         self.current_throughput = 0.0  # cpu-seconds of work retired per second
         self._total_work = sum(s.work_cpu_seconds for s in self.stages)
+        # -- fault-tolerant task engine (None → fluid model, seed behaviour) --
+        self.ft = ft if ft is not None and ft.enabled else None
+        self.quarantined_stage: str | None = None
+        self.failed_at: float | None = None
+        if self.ft is not None:
+            self._runtime = {s.name: _StageTasks(s) for s in self.stages}
+            self._dependents: dict[str, list[Stage]] = {s.name: [] for s in self.stages}
+            for stage in self.stages:
+                for dep in stage.deps:
+                    self._dependents[dep].append(stage)
+            self._prev_executor_names: set[str] = set()
+            self._dark_nodes: set[str] = set()
+            self._node_wipes: dict[str, int] = {}
+            self._slow_ticks: dict[str, int] = {}
+            # Work-conservation ledger (cpu-seconds), audited by the
+            # data-plane invariant: every unit an executor retires lands
+            # in exactly one of useful / speculative-in-flight / wasted /
+            # reopened.
+            self.ft_retired_work = 0.0
+            self.ft_reopened_work = 0.0
+            self.ft_wasted_work = 0.0
+            self.lineage_recomputes = 0
+            self.executor_losses = 0
+            self.speculative_launched = 0
+            self.speculative_wins = 0
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -177,6 +298,11 @@ class BigDataJob(Application):
     @property
     def done(self) -> bool:
         return self.completed_at is not None
+
+    @property
+    def failed(self) -> bool:
+        """True once a poison stage exhausted its retry budget."""
+        return self.failed_at is not None
 
     def makespan(self) -> float | None:
         """Submission-to-completion time, if finished."""
@@ -297,6 +423,9 @@ class BigDataJob(Application):
         return stage_work
 
     def tick(self, dt: float, now: float) -> None:
+        if self.ft is not None:
+            self._tick_ft(dt, now)
+            return
         if self.done:
             return
         runnable = self.runnable_stages()
@@ -332,6 +461,373 @@ class BigDataJob(Application):
             self._tick_handle = None
         self.finished = True
 
+    # -- fault-tolerant task engine --------------------------------------------
+
+    def _tick_ft(self, dt: float, now: float) -> None:
+        assert self.ft is not None
+        if self.done or self.failed:
+            return
+        self._detect_executor_loss(now)
+        if self.ft.lineage:
+            self._reopen_lost_outputs(now)
+        if self._check_quarantine(now):
+            return
+        runnable = self.runnable_stages()
+        if not runnable:
+            self._complete(now)
+            return
+        executors = self.running_pods()
+        assignment = self._assign_executors(runnable, executors)
+        self._release_moved_tasks(assignment)
+        work_retired = 0.0
+        stage_rates: dict[str, dict[str, float]] = {}
+        for pod in executors:
+            stage = assignment.get(pod.name)
+            if stage is None:
+                pod.record_usage(
+                    ResourceVector(memory=min(0.25, pod.allocation.memory))
+                )
+                continue
+            retired = self._advance_pod_ft(pod, self._runtime[stage.name], dt, now)
+            work_retired += retired
+            stage_rates.setdefault(stage.name, {})[pod.name] = retired / dt
+        self._update_stragglers(stage_rates)
+        for rt in self._runtime.values():
+            rt.sync_stage()
+        self.current_throughput = work_retired / dt
+        self._prev_executor_names = set(self._pod_names)
+        if all(s.complete for s in self.stages):
+            self._complete(now)
+
+    # -- fault detection -------------------------------------------------------
+
+    def _detect_executor_loss(self, now: float) -> None:
+        """Re-open the in-flight share of executors that disappeared."""
+        current = set(self._pod_names)
+        lost = self._prev_executor_names - current
+        if not lost:
+            return
+        self.executor_losses += len(lost)
+        for name in lost:
+            self._slow_ticks.pop(name, None)
+        for rt in self._runtime.values():
+            struck = False
+            for t in rt.tasks:
+                if t.done:
+                    continue
+                if t.spec_runner in lost:
+                    self.ft_reopened_work += t.spec_progress()
+                    self._clear_spec(t)
+                    struck = True
+                if t.runner in lost:
+                    struck = True
+                    self.ft_reopened_work += t.work - t.work_left
+                    if t.speculating:
+                        # Promote the surviving copy to primary.
+                        t.runner = t.spec_runner
+                        t.started_at = t.spec_started_at
+                        t.work_left = t.spec_work_left
+                        t.input_left = t.spec_input_left
+                        self._clear_spec(t)
+                    else:
+                        t.runner = None
+                        t.started_at = None
+                        t.work_left = t.work
+                        t.input_left = t.input_mb
+                        t.dispatch_after = now  # backoff applied below
+            if struck:
+                self._charge_attempt(rt, now)
+            rt.sync_stage()
+
+    def _charge_attempt(self, rt: _StageTasks, now: float) -> None:
+        """One fault batch on a stage: bump attempts, back off re-dispatch."""
+        rt.attempts += 1
+        backoff_until = now + self.ft.backoff(rt.attempts)
+        for t in rt.tasks:
+            if not t.done and t.runner is None:
+                t.dispatch_after = max(t.dispatch_after, backoff_until)
+
+    def _check_quarantine(self, now: float) -> bool:
+        """Fail the job once any stage exhausts its retry budget."""
+        if self.failed:
+            return True
+        for stage in self.stages:
+            rt = self._runtime[stage.name]
+            if rt.attempts > self.ft.stage_max_attempts:
+                self.quarantined_stage = stage.name
+                self.failed_at = now
+                self.current_throughput = 0.0
+                for pod in self.pods():
+                    if not pod.terminal:
+                        self.api.mark_finished(pod.name, succeeded=False)
+                self._pod_names.clear()
+                if self._tick_handle is not None:
+                    self._tick_handle.cancel()
+                    self._tick_handle = None
+                self.finished = True
+                return True
+        return False
+
+    # -- lineage recompute -----------------------------------------------------
+
+    def _refresh_dark_nodes(self) -> None:
+        referenced = {
+            t.output_node
+            for rt in self._runtime.values()
+            for t in rt.tasks
+            if t.done and t.output_node is not None
+        }
+        for name in sorted(referenced):
+            try:
+                dark = self.api.get_node(name).allocatable.is_zero()
+            except NodeNotFound:
+                dark = True
+            if dark and name not in self._dark_nodes:
+                self._dark_nodes.add(name)
+                self._node_wipes[name] = self._node_wipes.get(name, 0) + 1
+            elif not dark and name in self._dark_nodes:
+                self._dark_nodes.discard(name)
+
+    def _output_lost(self, t: _Task) -> bool:
+        if t.output_node is None:
+            return False
+        if t.output_node in self._dark_nodes:
+            return True
+        return self._node_wipes.get(t.output_node, 0) != t.output_epoch
+
+    def _reopen_lost_outputs(self, now: float) -> None:
+        """Re-open completed tasks whose shuffle output is gone and still
+        needed by an incomplete dependent, cascading into upstream stages
+        until a fixpoint (recomputing a stage needs *its* inputs too)."""
+        self._refresh_dark_nodes()
+        changed = True
+        while changed:
+            changed = False
+            for stage in self.stages:
+                if not any(not d.complete for d in self._dependents[stage.name]):
+                    continue  # output not needed (terminal results are durable)
+                rt = self._runtime[stage.name]
+                lost = [t for t in rt.tasks if t.done and self._output_lost(t)]
+                if not lost:
+                    continue
+                for t in lost:
+                    t.done = False
+                    t.work_left = t.work
+                    t.input_left = t.input_mb
+                    t.output_node = None
+                    t.runner = None
+                    t.started_at = None
+                    self._clear_spec(t)
+                    self.ft_reopened_work += t.work
+                self.lineage_recomputes += len(lost)
+                self._charge_attempt(rt, now)
+                rt.sync_stage()
+                changed = True
+
+    # -- task execution --------------------------------------------------------
+
+    def _clear_spec(self, t: _Task) -> None:
+        t.spec_runner = None
+        t.spec_started_at = None
+        t.spec_work_left = 0.0
+        t.spec_input_left = 0.0
+
+    def _release_moved_tasks(self, assignment: Mapping[str, Stage]) -> None:
+        """Drop task claims of pods now assigned elsewhere (or idled).
+
+        A moved primary keeps its partial progress (the share stays
+        attributable as useful work); a moved speculative copy is
+        abandoned and its progress counted as waste. Releasing idle
+        pods' claims matters for liveness: an unreleased claim would
+        block every other executor from ever picking the task up."""
+        for stage_name, rt in self._runtime.items():
+            for t in rt.tasks:
+                if t.done:
+                    continue
+                if t.runner is not None:
+                    target = assignment.get(t.runner)
+                    if target is None or target.name != stage_name:
+                        t.runner = None
+                        t.started_at = None
+                if t.spec_runner is not None:
+                    target = assignment.get(t.spec_runner)
+                    if target is None or target.name != stage_name:
+                        self.ft_wasted_work += t.spec_progress()
+                        self._clear_spec(t)
+
+    def _held_task(self, rt: _StageTasks, pod_name: str) -> tuple[_Task, bool] | None:
+        """The (task, is_primary) this pod currently runs in ``rt``."""
+        for t in rt.tasks:
+            if t.done:
+                continue
+            if t.runner == pod_name:
+                return t, True
+            if t.spec_runner == pod_name:
+                return t, False
+        return None
+
+    def _claim_task(self, rt: _StageTasks, pod_name: str, now: float) -> tuple[_Task, bool] | None:
+        for t in rt.tasks:
+            if not t.done and t.runner is None and t.dispatch_after <= now:
+                t.runner = pod_name
+                t.started_at = now
+                return t, True
+        if (
+            self.ft.speculation
+            and rt.done_count() >= self.ft.speculation_quantile * len(rt.tasks)
+        ):
+            candidates = [
+                t
+                for t in rt.tasks
+                if not t.done
+                and t.runner is not None
+                and t.runner != pod_name
+                and not t.speculating
+                and self._slow_ticks.get(t.runner, 0) >= self.ft.straggler_patience
+            ]
+            if candidates:
+                t = min(candidates, key=lambda t: (t.started_at, t.index))
+                t.spec_runner = pod_name
+                t.spec_started_at = now
+                t.spec_work_left = t.work
+                t.spec_input_left = t.input_mb
+                self.speculative_launched += 1
+                return t, False
+        return None
+
+    def _advance_pod_ft(self, pod: Pod, rt: _StageTasks, dt: float, now: float) -> float:
+        """Run one executor inside one stage for ``dt``; returns retired work.
+
+        The executor drains its claimed task and, with leftover tick
+        budget, pulls further pending tasks — so task granularity does
+        not throttle throughput below the fluid model's."""
+        stage = rt.stage
+        cpu_rate = pod.allocation.cpu
+        node = None
+        if pod.node_name is not None:
+            try:
+                node = self.api.get_node(pod.node_name)
+            except NodeNotFound:  # pragma: no cover - nodes are never removed
+                node = None
+        if node is not None:
+            cpu_rate *= node.speed_factor
+            if (
+                stage.accel_speedup > 1.0
+                and self.accelerator is not None
+                and node.labels.get("accelerator") == self.accelerator
+            ):
+                cpu_rate *= stage.accel_speedup
+        if cpu_rate <= 0:
+            pod.record_usage(ResourceVector(memory=min(0.25, pod.allocation.memory)))
+            return 0.0
+        in_bw = self._input_bandwidth(pod, stage)
+        budget = dt
+        retired = 0.0
+        io_mb = 0.0
+        while budget > _TASK_EPS:
+            held = self._held_task(rt, pod.name)
+            if held is None:
+                held = self._claim_task(rt, pod.name, now)
+            if held is None:
+                break
+            t, primary = held
+            work_left = t.work_left if primary else t.spec_work_left
+            input_left = t.input_left if primary else t.spec_input_left
+            if t.input_mb > 0 and input_left > _TASK_EPS:
+                frac_rate = min(cpu_rate / t.work, in_bw / t.input_mb)
+            else:
+                frac_rate = cpu_rate / t.work
+            if frac_rate <= 0:
+                break
+            time_to_finish = (work_left / t.work) / frac_rate
+            step = min(budget, time_to_finish)
+            dw = min(frac_rate * t.work * step, work_left)
+            di = min(frac_rate * t.input_mb * step, input_left) if input_left > 0 else 0.0
+            if primary:
+                t.work_left = max(0.0, t.work_left - dw)
+                t.input_left = max(0.0, t.input_left - di)
+                finished = t.work_left <= _TASK_EPS and t.input_left <= _TASK_EPS
+            else:
+                t.spec_work_left = max(0.0, t.spec_work_left - dw)
+                t.spec_input_left = max(0.0, t.spec_input_left - di)
+                finished = t.spec_work_left <= _TASK_EPS and t.spec_input_left <= _TASK_EPS
+            retired += dw
+            io_mb += di
+            budget -= max(step, _TASK_EPS)
+            self.ft_retired_work += dw
+            if finished:
+                self._finish_task(t, primary, pod)
+        is_source = not stage.deps
+        local_frac = 1.0
+        if is_source and self.dataset is not None and self.store is not None:
+            assert pod.node_name is not None
+            local_frac = self.store.locality_fraction(self.dataset, pod.node_name)
+        io_rate = io_mb / dt
+        pod.record_usage(
+            ResourceVector(
+                cpu=min(retired / dt, pod.allocation.cpu),
+                memory=min(pod.allocation.memory, 0.5 + 0.1 * pod.allocation.cpu),
+                disk_bw=io_rate * local_frac,
+                net_bw=io_rate * (1 - local_frac),
+            )
+        )
+        return retired
+
+    def _finish_task(self, t: _Task, primary: bool, pod: Pod) -> None:
+        """Retire a task copy; the losing duplicate's progress is waste."""
+        if primary:
+            if t.speculating:
+                self.ft_wasted_work += t.spec_progress()
+                self._clear_spec(t)
+        else:
+            self.ft_wasted_work += t.work - t.work_left
+            self.speculative_wins += 1
+            t.runner = pod.name
+            self._clear_spec(t)
+        t.done = True
+        t.work_left = 0.0
+        t.input_left = 0.0
+        t.output_node = pod.node_name
+        t.output_epoch = (
+            self._node_wipes.get(pod.node_name, 0) if pod.node_name else 0
+        )
+
+    def _update_stragglers(self, stage_rates: dict[str, dict[str, float]]) -> None:
+        """Track executors persistently below their stage's median rate."""
+        active: set[str] = set()
+        for rates in stage_rates.values():
+            active |= set(rates)
+            if len(rates) < 3:
+                continue  # median is meaningless for tiny pools
+            median = statistics.median(rates.values())
+            if median <= 0:
+                continue
+            threshold = self.ft.straggler_factor * median
+            for pod_name, rate in rates.items():
+                if rate < threshold:
+                    self._slow_ticks[pod_name] = self._slow_ticks.get(pod_name, 0) + 1
+                else:
+                    self._slow_ticks.pop(pod_name, None)
+        for pod_name in list(self._slow_ticks):
+            if pod_name not in active:
+                self._slow_ticks.pop(pod_name)
+
+    # -- conservation ledger ---------------------------------------------------
+
+    def ft_accounting(self) -> dict[str, float] | None:
+        """Work-conservation ledger: retired = useful + spec + waste + reopened."""
+        if self.ft is None:
+            return None
+        useful = sum(rt.useful_work() for rt in self._runtime.values())
+        spec_inflight = sum(rt.spec_inflight() for rt in self._runtime.values())
+        return {
+            "retired": self.ft_retired_work,
+            "useful": useful,
+            "spec_inflight": spec_inflight,
+            "wasted": self.ft_wasted_work,
+            "reopened": self.ft_reopened_work,
+        }
+
     # -- metrics -------------------------------------------------------------------
 
     def sample_metrics(self, now: float) -> Mapping[str, float]:
@@ -343,4 +839,15 @@ class BigDataJob(Application):
                 "stages_done": float(sum(1 for s in self.stages if s.complete)),
             }
         )
+        if self.ft is not None:
+            metrics.update(
+                {
+                    "ft_reopened_work": self.ft_reopened_work,
+                    "ft_wasted_work": self.ft_wasted_work,
+                    "lineage_recomputes": float(self.lineage_recomputes),
+                    "speculative_wins": float(self.speculative_wins),
+                    "executor_losses": float(self.executor_losses),
+                    "job_failed": 1.0 if self.failed else 0.0,
+                }
+            )
         return metrics

@@ -201,7 +201,10 @@ class HPCJob(Application):
         self.progress = min(1.0, self.progress + gang_rate * dt / self.duration)
         if self.checkpoint_interval is not None:
             step = self.checkpoint_interval / self.duration
-            self.last_checkpoint = int(self.progress / step) * step
+            # Tolerance so a checkpoint boundary reached up to float
+            # rounding (progress = n·step − ε) still counts as taken;
+            # plain truncation would silently roll a whole interval back.
+            self.last_checkpoint = int(self.progress / step + 1e-9) * step
         nominal = self.nominal_allocation
         for pod in running:
             pod.record_usage(

@@ -20,6 +20,14 @@ The model per tick:
 A :class:`~repro.workloads.plo.LatencyPLO` attached to a stream job
 targets the watermark delay (exported as the ``latency`` metric), so the
 standard controller manages stream jobs unmodified.
+
+Fault tolerance (opt-in via :class:`~repro.dataplane.DataPlaneConfig`):
+with ``ft.enabled`` the job takes periodic checkpoint barriers. Losing a
+worker pod rolls processing back to the last checkpoint — everything
+processed since is replayed, accounted as extra backlog demand — and the
+restarted pipeline spends ``restore_delay`` seconds rebuilding operator
+state before it processes again. With ``ft`` unset the model is
+untouched and seeded runs are bit-identical to the seed.
 """
 
 from __future__ import annotations
@@ -28,8 +36,10 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.cluster.api import ClusterAPI
+from repro.cluster.cluster import NodeNotFound
 from repro.cluster.pod import Pod, WorkloadClass
 from repro.cluster.resources import ResourceVector
+from repro.dataplane import DataPlaneConfig
 from repro.sim.engine import Engine
 from repro.workloads.base import Application
 from repro.workloads.traces import LoadTrace
@@ -97,6 +107,7 @@ class StreamJob(Application):
         event_mb: float = 0.01,
         mem_base: float = 0.5,
         max_lag_seconds: float = 600.0,
+        ft: DataPlaneConfig | None = None,
         tick_interval: float = 1.0,
         priority: int = 8,
         labels: Mapping[str, str] | None = None,
@@ -144,6 +155,17 @@ class StreamJob(Application):
         self.current_lag_seconds = 0.0
         self.current_offered = 0.0
         self.total_processed = 0.0
+        self.total_arrived = 0.0
+        # -- checkpoint/replay state (None → seed behaviour) --
+        self.ft = ft if ft is not None and ft.enabled else None
+        if self.ft is not None:
+            self.checkpoints = 0
+            self.restarts = 0
+            self.replayed_total = 0.0
+            self.last_checkpoint_at = 0.0
+            self._ckpt_processed = 0.0
+            self._restore_until = 0.0
+            self._prev_worker_names: set[str] = set()
 
     # -- model ------------------------------------------------------------------
 
@@ -162,21 +184,69 @@ class StreamJob(Application):
             capacity *= mem / needed
         return capacity
 
+    def _node_speed(self, pod: Pod) -> float:
+        if pod.node_name is None:
+            return 1.0
+        try:
+            return self.api.get_node(pod.node_name).speed_factor
+        except NodeNotFound:  # pragma: no cover - nodes are never removed
+            return 1.0
+
+    def _ft_pre_tick(self, now: float) -> bool:
+        """Checkpoint/rollback bookkeeping; True while restoring state."""
+        assert self.ft is not None
+        current = set(self._pod_names)
+        lost = self._prev_worker_names - current
+        self._prev_worker_names = current
+        if lost:
+            # Restart from the last checkpoint barrier: everything
+            # processed since is replayed as fresh backlog.
+            self.restarts += 1
+            replayed = self.total_processed - self._ckpt_processed
+            if replayed > 0:
+                self.lag_events += replayed
+                self.replayed_total += replayed
+                self.total_processed = self._ckpt_processed
+            self._restore_until = now + self.ft.restore_delay
+        restoring = now < self._restore_until
+        if (
+            not restoring
+            and now - self.last_checkpoint_at >= self.ft.checkpoint_interval
+        ):
+            self._ckpt_processed = self.total_processed
+            self.last_checkpoint_at = now
+            self.checkpoints += 1
+        return restoring
+
     def tick(self, dt: float, now: float) -> None:
         offered = max(0.0, self.trace.rate(now))
         self.current_offered = offered
         workers = self.running_pods()
         arrivals = offered * dt
-        if not workers:
+        self.total_arrived += arrivals
+        restoring = self._ft_pre_tick(now) if self.ft is not None else False
+        if not workers or restoring:
             self.lag_events += arrivals
             self.current_rate = 0.0
-            self.current_lag_seconds = self.max_lag_seconds
+            if workers:
+                # Workers are up but rebuilding operator state: backlog
+                # accrues while the watermark estimate goes stale.
+                for pod in workers:
+                    pod.record_usage(
+                        ResourceVector(
+                            memory=min(pod.allocation.memory, self.mem_base)
+                        )
+                    )
+            else:
+                self.current_lag_seconds = self.max_lag_seconds
             return
 
         total_capacity = 0.0
         share = (self.lag_events + arrivals) / len(workers)
         for pod in workers:
             capacity = self._worker_capacity(pod)
+            if self.ft is not None:
+                capacity *= self._node_speed(pod)
             total_capacity += capacity
             processed_rate = min(capacity, share / dt)
             state_mem = (
@@ -218,4 +288,13 @@ class StreamJob(Application):
                 "output_rate": self.current_rate * self.output_selectivity,
             }
         )
+        if self.ft is not None:
+            metrics.update(
+                {
+                    "checkpoints": float(self.checkpoints),
+                    "restarts": float(self.restarts),
+                    "replayed_total": self.replayed_total,
+                    "checkpoint_age": now - self.last_checkpoint_at,
+                }
+            )
         return metrics

@@ -5,16 +5,20 @@ import pytest
 
 from repro.cluster.chaos import (
     ChaosMonkey,
+    DataLossDomain,
     DegradationInjector,
+    ExecutorKillDomain,
     FailureInjector,
     FaultLog,
     NodeCrashDomain,
     NodeDegradationDomain,
+    StragglerDomain,
     ZoneOutageDomain,
 )
 from repro.cluster.cluster import ClusterError
-from repro.cluster.pod import PodPhase
+from repro.cluster.pod import PodPhase, WorkloadClass
 from repro.cluster.resources import ResourceVector
+from repro.storage.objectstore import ObjectStore
 from tests.conftest import make_spec
 
 
@@ -453,3 +457,83 @@ class TestFaultLogCloseOpen:
         assert log.close_open(50.0) == 1
         assert log.close_open(60.0) == 0
         assert log.episodes[0].end == 50.0
+
+
+class TestExecutorKillDomain:
+    def test_strike_evicts_running_bigdata_pod(self, engine, cluster):
+        cluster.submit(make_spec("svc", workload_class=WorkloadClass.MICROSERVICE))
+        cluster.submit(make_spec("exec-1", workload_class=WorkloadClass.BIGDATA))
+        cluster.bind("svc", "node-0")
+        cluster.bind("exec-1", "node-1")
+        engine.run_until(10.0)
+        log = FaultLog()
+        dom = ExecutorKillDomain(cluster, np.random.default_rng(7), log=log)
+        victim = dom.strike()
+        assert victim == "exec-1"  # the microservice is out of scope
+        assert cluster.get_pod("exec-1").phase == PodPhase.EVICTED
+        assert cluster.get_pod("svc").phase == PodPhase.RUNNING
+        assert dom.kills == 1
+        assert log.episodes[0].kind == "executor-kill"
+        dom.heal(victim)  # no-op by contract
+
+    def test_no_candidates_is_a_noop(self, engine, cluster):
+        dom = ExecutorKillDomain(cluster, np.random.default_rng(7))
+        assert dom.strike() is None
+        assert dom.kills == 0
+
+
+class TestStragglerDomain:
+    def test_strike_slows_and_heal_restores(self, engine, cluster):
+        log = FaultLog()
+        dom = StragglerDomain(
+            cluster, np.random.default_rng(7), factor=0.25, log=log
+        )
+        token = dom.strike()
+        assert token is not None
+        name, episode = token
+        assert cluster.get_node(name).speed_factor == 0.25
+        assert episode.kind == "node-straggler" and episode.active
+        dom.heal(token)
+        assert cluster.get_node(name).speed_factor == 1.0
+        assert not episode.active
+
+    def test_already_slow_nodes_not_restruck(self, cluster):
+        dom = StragglerDomain(cluster, np.random.default_rng(7))
+        for _ in range(3):
+            dom.strike()
+        assert dom.strikes == 3
+        assert dom.strike() is None  # every node already slowed
+
+    def test_dark_nodes_excluded(self, cluster):
+        injector = FailureInjector(cluster)
+        for name in ("node-0", "node-1", "node-2"):
+            injector.fail_node(name)
+        dom = StragglerDomain(cluster, np.random.default_rng(7))
+        assert dom.strike() is None
+
+    def test_invalid_factor(self, cluster):
+        with pytest.raises(ValueError):
+            StragglerDomain(cluster, np.random.default_rng(7), factor=1.0)
+
+
+class TestDataLossDomain:
+    def test_strike_wipes_one_nodes_replicas(self, engine, cluster):
+        store = ObjectStore()
+        store.create_bucket("d")
+        store.put("d", "k1", 10.0, {"node-0", "node-1"})
+        store.put("d", "k2", 5.0, {"node-1"})
+        log = FaultLog()
+        dom = DataLossDomain(store, cluster, np.random.default_rng(3), log=log)
+        victim = dom.strike()
+        assert victim in {"node-0", "node-1"}
+        assert victim not in store.nodes_with_data()
+        assert dom.strikes == 1
+        assert dom.replicas_dropped >= 1
+        assert log.episodes[0].kind == "data-loss"
+        dom.heal(victim)  # no-op: wiped data stays gone
+        assert victim not in store.nodes_with_data()
+
+    def test_empty_store_is_a_noop(self, cluster):
+        dom = DataLossDomain(ObjectStore(), cluster, np.random.default_rng(3))
+        assert dom.strike() is None
+        assert dom.strikes == 0

@@ -23,7 +23,8 @@ PUBLIC_SURFACE = {
                       "PartitionError", "Lease", "ScopedClusterAPI",
                       "PodNotFound", "NodeNotFound", "PartitionInjector",
                       "ControllerCrashDomain", "PartitionDomain",
-                      "LeaderElected", "LeaderDeposed"],
+                      "ExecutorKillDomain", "StragglerDomain",
+                      "DataLossDomain", "LeaderElected", "LeaderDeposed"],
     "repro.metrics": ["TimeSeries", "MetricsCollector", "MetricsSource",
                       "MetricsFaultInjector"],
     "repro.workloads": ["Application", "Microservice", "ServiceDemands",
@@ -48,9 +49,9 @@ PUBLIC_SURFACE = {
                         "SiloedScheduler", "GangAdmission",
                         "PreemptionPlan", "plan_gang"],
     "repro.storage": ["ObjectStore", "StorageObject", "DatasetPlacement",
-                      "spread_blocks"],
+                      "spread_blocks", "StorageRepairService"],
     "repro.platform": ["EvolvePlatform", "ClusterSpec", "PlatformConfig",
-                       "build_nodes"],
+                       "build_nodes", "DataPlaneConfig"],
     "repro.analysis": ["PLOMonitor", "utilization_summary", "settling_time",
                        "recovery_time", "overshoot", "format_table",
                        "PriceSheet", "app_cost", "PowerModel",

@@ -58,7 +58,8 @@ class TestScenarioGeneration:
             assert spec.horizon >= 240.0
             assert spec.controller_replicas in (1, 3)
             assert 1 <= len(spec.workloads) <= 4
-            assert len(spec.chaos) <= 3
+            # v3: ft episodes append 1-3 data-plane events to the ≤ 3 base.
+            assert len(spec.chaos) <= (6 if spec.ft else 3)
             for workload in spec.workloads:
                 assert workload.kind in fuzzer.WORKLOAD_KINDS
             for event in spec.chaos:
@@ -194,3 +195,74 @@ class TestFuzzLoop:
         overridden = replay(path, seed=12345)
         assert overridden.spec.seed == 12345
         assert overridden.ok
+
+
+class TestFormatV3:
+    """PR-7 additions: the ft flag, data-plane chaos, and v2 compat."""
+
+    def test_ft_round_trips_through_json(self):
+        spec = ScenarioSpec(seed=1, horizon=120.0, nodes=3, workloads=(), ft=True)
+        loaded = ScenarioSpec.from_json(spec.to_json())
+        assert loaded == spec
+        assert loaded.ft is True
+
+    def test_v2_payload_defaults_ft_off(self):
+        payload = generate_scenario(7, 0).to_dict()
+        payload["format"] = 2
+        payload.pop("ft")
+        spec = ScenarioSpec.from_dict(payload)
+        assert spec.ft is False
+
+    def test_generator_emits_ft_episodes_with_data_chaos(self):
+        specs = [generate_scenario(23, i) for i in range(25)]
+        ft_specs = [s for s in specs if s.ft]
+        assert ft_specs, "seed 23 draws ft episodes in 25 tries"
+        assert any(not s.ft for s in specs)
+        data_events = [
+            e
+            for s in ft_specs
+            for e in s.chaos
+            if e.domain in fuzzer.DATA_DOMAINS
+        ]
+        assert data_events
+        for event in data_events:
+            assert event.at >= 30.0 and event.duration >= 30.0
+        # ft=False episodes never carry data-plane chaos.
+        for spec in specs:
+            if not spec.ft:
+                assert all(
+                    e.domain not in fuzzer.DATA_DOMAINS for e in spec.chaos
+                )
+
+    def test_ft_episode_runs_clean(self):
+        spec = next(
+            generate_scenario(23, i) for i in range(25)
+            if generate_scenario(23, i).ft
+        )
+        assert any(e.domain in fuzzer.DATA_DOMAINS for e in spec.chaos)
+        result = run_episode(spec)
+        assert result.ok, [v.detail for v in result.violations]
+
+    def test_shrink_tries_disabling_ft(self):
+        spec = ScenarioSpec(
+            seed=3,
+            horizon=240.0,
+            nodes=3,
+            workloads=(
+                WorkloadSpec("micro", "micro-0", {
+                    "base": 100.0, "amplitude": 40.0, "period": 600.0,
+                    "cpu_seconds": 0.004, "cpu": 1.0, "memory": 2.0,
+                    "plo": 0.05, "replicas": 1,
+                }),
+            ),
+            chaos=(ChaosEvent("executor-kill", 40.0, 60.0, 0),),
+            ft=True,
+        )
+
+        def still_fails(candidate):
+            # Failure independent of ft: the shrinker must turn it off.
+            return any(w.kind == "micro" for w in candidate.workloads)
+
+        shrunk = shrink(spec, still_fails)
+        assert shrunk.ft is False
+        assert still_fails(shrunk)

@@ -391,6 +391,7 @@ class TestCheckerMechanics:
             "wal-discipline",
             "heap-integrity",
             "shed-conservation",
+            "data-plane-conservation",
         ]
 
     def test_validation(self):
@@ -399,3 +400,85 @@ class TestCheckerMechanics:
             InvariantChecker(engine, cluster, every=0)
         with pytest.raises(ValueError):
             InvariantChecker(engine, cluster, on_violation="log")
+
+
+class TestDataPlaneConservation:
+    """Each leg of the data-plane ledger catches its own corruption."""
+
+    ALLOC = ResourceVector(cpu=2, memory=4, disk_bw=50, net_bw=50)
+
+    def _ft_job(self, engine, api):
+        from repro.dataplane import DataPlaneConfig
+        from repro.workloads.bigdata import BigDataJob, Stage
+
+        job = BigDataJob(
+            "job", engine, api,
+            stages=[Stage("map", 200.0)],
+            initial_allocation=self.ALLOC, initial_executors=2,
+            ft=DataPlaneConfig(enabled=True),
+        )
+        job.start()
+        for pod in api.pending_pods():
+            api.bind_pod(pod.name, "node-0")
+        engine.run_until(20.0)
+        return job
+
+    def _check(self, engine, cluster, **kwargs):
+        from repro.verify.invariants import CheckContext, DataPlaneConservation
+
+        ctx = CheckContext(engine, cluster, **kwargs)
+        return list(DataPlaneConservation().check(ctx))
+
+    def test_clean_ft_job_passes(self, engine, cluster, api):
+        job = self._ft_job(engine, api)
+        assert self._check(engine, cluster, apps={"job": job}) == []
+
+    def test_ledger_imbalance_detected(self, engine, cluster, api):
+        job = self._ft_job(engine, api)
+        job.ft_retired_work += 7.0  # work retired into no bucket
+        violations = self._check(engine, cluster, apps={"job": job})
+        assert len(violations) == 1
+        assert "retired" in violations[0]
+
+    def test_quarantine_budget_breach_detected(self, engine, cluster, api):
+        job = self._ft_job(engine, api)
+        job._runtime["map"].attempts = job.ft.stage_max_attempts + 1
+        violations = self._check(engine, cluster, apps={"job": job})
+        assert any("without quarantine" in v for v in violations)
+
+    def test_fluid_mirror_drift_detected(self, engine, cluster, api):
+        job = self._ft_job(engine, api)
+        job.stages[0].remaining_work += 5.0  # fluid counter drifts off tasks
+        violations = self._check(engine, cluster, apps={"job": job})
+        assert any("fluid counter" in v for v in violations)
+
+    def test_stream_arrival_imbalance_detected(self, engine, cluster, api):
+        from repro.workloads.stream import Operator, StreamJob
+        from repro.workloads.traces import ConstantTrace
+
+        job = StreamJob(
+            "stream", engine, api,
+            trace=ConstantTrace(100.0),
+            operators=[Operator("parse", 0.004)],
+            initial_allocation=self.ALLOC, initial_workers=1,
+        )
+        job.start()
+        for pod in api.pending_pods():
+            api.bind_pod(pod.name, "node-0")
+        engine.run_until(50.0)
+        assert self._check(engine, cluster, apps={"stream": job}) == []
+        job.lag_events += 5.0  # events neither processed nor lagging
+        violations = self._check(engine, cluster, apps={"stream": job})
+        assert len(violations) == 1
+        assert "arrived" in violations[0]
+
+    def test_repair_ledger_imbalance_detected(self, engine, cluster, api):
+        from repro.storage.objectstore import ObjectStore
+        from repro.storage.repair import StorageRepairService
+
+        service = StorageRepairService(engine, ObjectStore(), api)
+        assert self._check(engine, cluster, repair=service) == []
+        service.repaired_mb += 4.0  # bytes landed that were never moved
+        violations = self._check(engine, cluster, repair=service)
+        assert len(violations) == 1
+        assert "repair ledger" in violations[0]

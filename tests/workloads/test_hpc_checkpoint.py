@@ -112,3 +112,31 @@ def test_no_rollback_without_progress(engine, api):
     api.delete_pod("mpi-0", reason="preempted")
     engine.run_until(5.0)
     assert job.rollbacks == 0
+
+
+def test_checkpoint_boundary_reached_within_float_rounding(engine, api):
+    # Regression: with duration=51 and interval=30, thirty ticks of
+    # 1/51 progress accumulate to 30/51 minus ~2 ulp. Plain truncation
+    # of progress/step read that as "boundary not reached" and kept the
+    # checkpoint a whole interval back; the tolerance must count it.
+    job = HPCJob(
+        "mpi", engine, api, ranks=2, duration=51.0, allocation=ALLOC,
+        checkpoint_interval=30.0,
+    )
+    job.maintain_replicas = True
+    job.start()
+    bind_all(engine, api)
+    engine.run_until(35.5)  # 30 progress ticks after the gang forms
+    step = 30.0 / 51.0
+    assert job.progress == pytest.approx(step, abs=1e-12)
+    assert job.last_checkpoint == pytest.approx(step, abs=1e-9)
+    assert job.last_checkpoint > 0.0
+
+    # A rank loss right at the boundary loses nothing: the checkpoint
+    # equals current progress, so the rollback is a no-op — with the
+    # old truncation it would have reset the job a full interval back.
+    victim = job.running_pods()[0]
+    api.delete_pod(victim.name, reason="preempted")
+    engine.run_until(38.0)
+    assert job.rollbacks == 0
+    assert job.progress >= step - 1e-9
