@@ -60,6 +60,7 @@ from benchmarks import bench_t8_control_plane_outage as bench_t8
 from benchmarks import bench_t9_reaction_latency as bench_t9
 from benchmarks import bench_t10_overload as bench_t10
 from benchmarks import bench_t11_dataplane as bench_t11
+from benchmarks import bench_t12_slo as bench_t12
 from benchmarks import bench_telemetry_overhead as bench_tel
 from benchmarks.scenarios import (
     HOUR,
@@ -411,6 +412,38 @@ def _run_t11(mode: str) -> dict:
     events = sum(c["events"] for c in case["ft"] + case["baseline"])
     return {"seed": bench_t11.SEED, "events_executed": events,
             "metrics": metrics}
+
+
+def _run_t12(mode: str) -> dict:
+    if mode == "smoke":
+        case = bench_t12.run_case(
+            calm_duration=bench_t12.SMOKE_CALM_DURATION)
+    else:
+        case = bench_t12.run_case()
+    bench_t12.check_case(case)
+    cells = case["scenarios"]
+    overload = cells["overload"]
+    metrics = {
+        "attainment/calm": cells["calm"]["overall_attainment"],
+        "attainment/overload": overload["overall_attainment"],
+        "attainment/data-fault": cells["data-fault"]["overall_attainment"],
+        "alerts/calm": cells["calm"]["alerts"],
+        "alerts/overload": overload["alerts"],
+        "alerts_resolved/overload": overload["alerts_resolved"],
+        "alert_latency_s/web_latency": (
+            overload["alert_latency_s"]["web_latency"]),
+        "budget_spent_s/shed_free": (
+            overload["budget_spent_s"]["shed_free"]),
+        "budget_spent_s/brownout_free": (
+            overload["budget_spent_s"]["brownout_free"]),
+        "ledgers_ok": all(c["ledgers_ok"] for c in cells.values()),
+    }
+    events = sum(c["events"] for c in cells.values())
+    # The per-scenario RunReports ride along so --json can emit the
+    # flight-recorder artifact (REPORT_t12.json) next to the payload.
+    reports = {name: c["report"] for name, c in cells.items()}
+    return {"seed": bench_t12.SEED, "events_executed": events,
+            "metrics": metrics, "report": reports}
 
 
 def _run_f1(mode: str) -> dict:
@@ -868,6 +901,10 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "R-T11: data-plane fault tolerance under injected faults", _run_t11,
         budgets={"events_executed": 13_000}),
     Experiment(
+        "t12", "benchmarks.bench_t12_slo",
+        "R-T12: SLO attainment and burn-rate alerting", _run_t12,
+        budgets={"events_executed": 21_000}),
+    Experiment(
         "f1", "benchmarks.bench_f1_latency_timeline",
         "R-F1: latency timeline per policy", _run_f1,
         budgets={"events_executed": 22_000}),
@@ -973,6 +1010,10 @@ def run_experiment(exp: Experiment, mode: str) -> dict:
         "metrics": out["metrics"],
         "timing": out.get("timing", {}),
     }
+    if "report" in out:
+        # Flight-recorder RunReport(s); split out into REPORT_<exp>.json
+        # by write_result rather than bloating the BENCH payload.
+        payload["report"] = out["report"]
     if mode == "smoke" and _SEED_OVERRIDE is None:
         budgets = check_budgets(exp, payload)
         payload["budgets"] = budgets
@@ -990,6 +1031,11 @@ def run_experiment(exp: Experiment, mode: str) -> dict:
 def write_result(payload: dict, outdir: str | Path) -> Path:
     outdir = Path(outdir)
     outdir.mkdir(parents=True, exist_ok=True)
+    report = payload.pop("report", None)
+    if report is not None:
+        report_path = outdir / f"REPORT_{payload['experiment']}.json"
+        report_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n")
     path = outdir / f"BENCH_{payload['experiment']}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

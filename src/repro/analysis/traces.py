@@ -78,6 +78,39 @@ def latency_quantiles(
     return out
 
 
+def top_reaction_paths(
+    trace: Trace, k: int = 5
+) -> list[dict]:
+    """The ``k`` slowest scrape→actuation critical paths, summarized.
+
+    Each entry names the actuated app, the reaction latency, and the
+    root-first chain of (name, cat, start) hops — the flight recorder's
+    "where did the time go" view. Actuations that don't causally descend
+    from a scrape are skipped, matching :func:`reaction_latencies`.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    scored: list[tuple[float, Span]] = []
+    for span in actuations(trace):
+        scrape = triggering_scrape(trace, span)
+        if scrape is not None:
+            scored.append((span.start - scrape.start, span))
+    scored.sort(key=lambda pair: (-pair[0], pair[1].id))
+    out = []
+    for latency, span in scored[:k]:
+        path = critical_path(trace, span)
+        out.append({
+            "app": span.args.get("app"),
+            "latency": latency,
+            "actuated_at": span.start,
+            "path": [
+                {"name": s.name, "cat": s.cat, "start": s.start}
+                for s in path
+            ],
+        })
+    return out
+
+
 def end_to_end_reaction(
     trace: Trace,
     step_time: float,

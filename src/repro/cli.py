@@ -5,13 +5,20 @@ Run declarative experiments without writing Python::
     python -m repro run experiment.json
     python -m repro demo --policy adaptive --duration 7200
     python -m repro trace --format chrome out.json
+    python -m repro report overload --output report.json
     python -m repro policies
 
 ``run`` executes a JSON experiment config (see
 :mod:`repro.platform.loader` for the schema) and prints the standard
 summary: per-app PLO violations, utilization, makespans, and costs.
 ``trace`` runs the demo scenario with telemetry enabled and exports the
-causal run timeline (Chrome ``trace_event`` JSON or JSONL).
+causal run timeline (Chrome ``trace_event`` JSON or JSONL); ``--filter``
+and ``--since`` slice the export to a span-name prefix and a start
+time. ``report`` runs one of the canonical SLO scenarios
+(:mod:`repro.platform.presets`) and prints the flight recorder's
+``RunReport``: per-SLO attainment and error-budget burn, the merged
+alert/fault timeline, ledger conservation verdicts, and the slowest
+scrape-to-actuation critical paths.
 """
 
 from __future__ import annotations
@@ -107,7 +114,11 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.analysis.traces import latency_quantiles, reaction_latencies
-    from repro.obs.export import write_chrome_trace, write_trace_jsonl
+    from repro.obs.export import (
+        filter_trace,
+        write_chrome_trace,
+        write_trace_jsonl,
+    )
 
     platform = EvolvePlatform(
         policy=args.policy,
@@ -117,6 +128,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
     _deploy_demo_service(platform, args.policy)
     platform.run(args.duration)
     trace = platform.telemetry.trace
+    if args.filter is not None or args.since is not None:
+        trace = filter_trace(
+            trace, name_prefix=args.filter, since=args.since
+        )
     if args.format == "chrome":
         count = write_chrome_trace(
             trace, args.output, fault_log=platform.fault_log
@@ -145,6 +160,81 @@ def cmd_trace(args: argparse.Namespace) -> int:
             f"over {len(latencies)} actuations"
         )
     return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.recorder import build_run_report, write_run_report
+    from repro.platform.presets import build_scenario
+
+    platform, duration = build_scenario(
+        args.scenario, duration=args.duration, seed=args.seed
+    )
+    platform.run(duration)
+    report = build_run_report(platform, top_k=args.top_k)
+
+    meta = report.as_dict()["meta"]
+    print(
+        f"scenario {args.scenario!r}: {meta['duration']:.0f} s simulated, "
+        f"seed {meta['seed']}, {len(meta['apps'])} apps"
+    )
+    print()
+    rows = []
+    for name, slo in sorted(report.slos.items()):
+        rows.append([
+            name,
+            slo["kind"],
+            f"{slo['attainment']:.2%}",
+            f"{slo['budget_spent_s']:.0f}s / {slo['budget_s']:.0f}s",
+            str(len(slo["alerts"])),
+        ])
+    print(format_table(
+        ["SLO", "kind", "attainment", "budget spent", "alerts"], rows
+    ))
+    print()
+    summary = report.as_dict()["slo_summary"]
+    print(
+        f"overall attainment {summary['overall_attainment']:.2%}, "
+        f"{summary['total_alerts']} alert(s) "
+        f"({summary['unresolved_alerts']} unresolved)"
+    )
+    timeline = report.as_dict()["alert_timeline"]
+    if timeline:
+        print()
+        print("timeline:")
+        for entry in timeline:
+            end = (
+                f"{entry['end']:.0f}s" if entry["end"] is not None
+                else "unresolved"
+            )
+            extra = (
+                f" [{entry['domain']}]" if entry.get("domain") else ""
+            )
+            print(
+                f"  {entry['start']:7.0f}s  {entry['type']:<5s} "
+                f"{entry['name']} -> {end}{extra}"
+            )
+    if report.ledgers:
+        print()
+        verdicts = ", ".join(
+            f"{name}={'ok' if block['ok'] else 'IMBALANCED'}"
+            for name, block in sorted(report.ledgers.items())
+        )
+        print(f"ledgers: {verdicts}")
+    paths = report.as_dict()["critical_paths"]
+    if paths:
+        print()
+        print("slowest scrape-to-actuation paths:")
+        for p in paths:
+            chain = " -> ".join(hop["name"] for hop in p["path"])
+            print(
+                f"  {p['latency']:6.2f}s  {p['app']} @ "
+                f"{p['actuated_at']:.0f}s  ({chain})"
+            )
+    if args.output is not None:
+        write_run_report(report, args.output)
+        print()
+        print(f"wrote RunReport to {args.output}")
+    return 0 if report.ledgers_ok() else 1
 
 
 def cmd_policies(_args: argparse.Namespace) -> int:
@@ -250,7 +340,33 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--policy", choices=POLICIES, default="adaptive")
     trace.add_argument("--scheduler", choices=SCHEDULERS, default="converged")
     trace.add_argument("--duration", type=float, default=3600.0)
+    trace.add_argument("--filter", metavar="PREFIX", default=None,
+                       help="export only spans whose name starts with "
+                            "this prefix (e.g. 'shed', 'actuate')")
+    trace.add_argument("--since", type=float, metavar="T", default=None,
+                       help="export only spans starting at or after this "
+                            "simulated time (seconds)")
     trace.set_defaults(func=cmd_trace)
+
+    from repro.platform.presets import PRESETS
+
+    rep = sub.add_parser(
+        "report",
+        help="run a canonical SLO scenario and print the flight-recorder "
+             "RunReport (attainment, burn, alerts, ledgers, critical paths)",
+    )
+    rep.add_argument("scenario", choices=sorted(PRESETS),
+                     help="which preset scenario to run "
+                          "(see repro.platform.presets)")
+    rep.add_argument("--duration", type=float, default=None,
+                     help="override the preset's horizon (seconds)")
+    rep.add_argument("--seed", type=int, default=None,
+                     help="override the preset's seed")
+    rep.add_argument("--output", metavar="FILE", default=None,
+                     help="also write the RunReport JSON here")
+    rep.add_argument("--top-k", type=int, default=5,
+                     help="how many critical paths to include")
+    rep.set_defaults(func=cmd_report)
 
     policies = sub.add_parser("policies", help="list policies and schedulers")
     policies.set_defaults(func=cmd_policies)

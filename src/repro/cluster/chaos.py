@@ -65,6 +65,10 @@ class FaultEpisode:
     start: float
     end: float | None = None
     detail: str = ""
+    #: Name of the chaos domain that injected the episode ("" for faults
+    #: not raised by a domain, e.g. brownout or actuation-retry records).
+    #: The flight recorder's alert timeline attributes episodes by it.
+    domain: str = ""
     #: Stable index within the owning FaultLog (-1 until logged); decision
     #: provenance references episodes by this id.
     eid: int = -1
@@ -88,8 +92,9 @@ class FaultLog:
         self.episodes: list[FaultEpisode] = []
 
     def open(self, kind: str, target: str, start: float, *,
-             detail: str = "") -> FaultEpisode:
-        episode = FaultEpisode(kind, target, start, detail=detail)
+             detail: str = "", domain: str = "") -> FaultEpisode:
+        episode = FaultEpisode(kind, target, start, detail=detail,
+                               domain=domain)
         episode.eid = len(self.episodes)
         self.episodes.append(episode)
         return episode
@@ -99,9 +104,9 @@ class FaultLog:
             episode.end = end
 
     def record(self, kind: str, target: str, start: float, end: float, *,
-               detail: str = "") -> FaultEpisode:
+               detail: str = "", domain: str = "") -> FaultEpisode:
         """Record an episode whose end is already known (window faults)."""
-        episode = FaultEpisode(kind, target, start, end, detail)
+        episode = FaultEpisode(kind, target, start, end, detail, domain)
         episode.eid = len(self.episodes)
         self.episodes.append(episode)
         return episode
@@ -683,7 +688,8 @@ class ExecutorKillDomain:
         self.kills += 1
         if self.log is not None:
             now = self.cluster.now
-            self.log.record("executor-kill", victim, now, now)
+            self.log.record("executor-kill", victim, now, now,
+                            domain=self.name)
         return victim
 
     def heal(self, token: object) -> None:
@@ -736,6 +742,7 @@ class StragglerDomain:
                 victim.name,
                 self.cluster.now,
                 detail=f"speed_factor={self.factor}",
+                domain=self.name,
             )
         return (victim.name, episode)
 
@@ -783,7 +790,8 @@ class DataLossDomain:
         if self.log is not None:
             now = self.cluster.now
             self.log.record(
-                "data-loss", victim, now, now, detail=f"replicas_dropped={dropped}"
+                "data-loss", victim, now, now,
+                detail=f"replicas_dropped={dropped}", domain=self.name,
             )
         return victim
 

@@ -14,6 +14,13 @@ Pure bookkeeping: no events, no RNG, nothing scheduled. The ledger is
 in-memory only and deliberately not snapshotted — like in-flight retry
 closures, deferred targets die with a crashed controller, and the next
 control period re-decides from live signals.
+
+Observability: when telemetry is enabled the counters below are synced
+into the ``sched/backpressure/*`` instruments at scrape time (see
+:meth:`repro.obs.telemetry.Telemetry.attach_manager`), and the ledger
+obeys the conservation identity checked by the flight recorder:
+``deferrals == coalesced + releases + dropped + queued`` (a coalesced
+defer folds into the existing entry instead of adding one).
 """
 
 from __future__ import annotations

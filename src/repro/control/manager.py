@@ -224,6 +224,12 @@ class ControlLoopManager:
         self.brownout_cfg = (
             overload if overload is not None and overload.brownout else None
         )
+        # Aggregate brownout counters across all entries, maintained at
+        # the enter/exit sites so telemetry can sync ``sched/brownout/*``
+        # with plain attribute reads per scrape.
+        self.brownout_entries_total = 0
+        self.brownout_exits_total = 0
+        self.brownout_active_total = 0
         # HA hooks (see repro.control.ha). ``partition_guard`` runs at the
         # top of every actuation and may raise ActuationError (a partitioned
         # leader cannot reach the API, so its writes fail like any other
@@ -709,6 +715,8 @@ class ControlLoopManager:
                     latency_penalty=cfg.brownout_latency_penalty,
                 )
                 entry.brownout_entries += 1
+                self.brownout_entries_total += 1
+                self.brownout_active_total += 1
                 if self.fault_log is not None:
                     entry.brownout_episode = self.fault_log.open(
                         "brownout", app.name, now,
@@ -734,6 +742,8 @@ class ControlLoopManager:
                 entry.brownout_low_periods = 0
                 app.exit_brownout()
                 entry.brownout_exits += 1
+                self.brownout_exits_total += 1
+                self.brownout_active_total -= 1
                 if self.fault_log is not None and entry.brownout_episode is not None:
                     self.fault_log.close(entry.brownout_episode, now)
                     entry.brownout_episode = None

@@ -74,6 +74,9 @@ class MetricsCollector:
         # decision can be linked back to the scrape that fed it.
         self._scrape_span_times: list[float] = []
         self._scrape_span_ids: list[int] = []
+        # Post-scrape hooks (e.g. the SLO engine) run after a completed
+        # round, never on dropped rounds. Observation-only by contract.
+        self._scrape_hooks: list = []
 
     # -- registration -------------------------------------------------------
 
@@ -97,6 +100,16 @@ class MetricsCollector:
         runs depending on whether telemetry is enabled.
         """
         self._internal_sources.append(source)
+
+    def add_scrape_hook(self, hook) -> None:
+        """Run ``hook(now)`` after each completed scrape round.
+
+        Hooks fire once all sources (internal ones included) have been
+        sampled, and are skipped entirely when a fault drops the round.
+        Hooks must be observation-only — no engine events, no RNG — so
+        seeded runs stay bit-identical with hooks attached or not.
+        """
+        self._scrape_hooks.append(hook)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -170,15 +183,18 @@ class MetricsCollector:
             return
         if tel is None:
             self._scrape_all(now)
-            return
-        tel.scrapes.inc()
-        sp = tel.tracer.begin("scrape", "metrics", round=self.scrapes)
-        self._scrape_span_times.append(now)
-        self._scrape_span_ids.append(sp.id)
-        try:
-            self._scrape_all(now)
-        finally:
-            tel.tracer.end(sp)
+        else:
+            tel.scrapes.inc()
+            sp = tel.tracer.begin("scrape", "metrics", round=self.scrapes)
+            self._scrape_span_times.append(now)
+            self._scrape_span_ids.append(sp.id)
+            try:
+                self._scrape_all(now)
+            finally:
+                tel.tracer.end(sp)
+        if self._scrape_hooks:
+            for hook in self._scrape_hooks:
+                hook(now)
 
     def _scrape_all(self, now: float) -> None:
         # Batched store path: the fault filter is consulted once per

@@ -1,12 +1,21 @@
-"""Control-plane observability: causal tracing, self-metrics, exporters.
+"""Control-plane observability: causal tracing, self-metrics, exporters,
+declarative SLOs, and the per-run flight recorder.
 
-Opt-in via ``PlatformConfig.telemetry``; see ``docs/observability.md``.
+Opt-in via ``PlatformConfig.telemetry`` (and ``PlatformConfig.slos`` for
+the SLO engine); see ``docs/observability.md``.
 """
 
 from repro.obs.export import (
+    filter_trace,
     to_chrome_trace,
     write_chrome_trace,
     write_trace_jsonl,
+)
+from repro.obs.recorder import (
+    RUN_REPORT_SCHEMA,
+    RunReport,
+    build_run_report,
+    write_run_report,
 )
 from repro.obs.registry import (
     Counter,
@@ -14,8 +23,11 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     NAME_PATTERN,
+    REGISTERED_NAMESPACES,
     lint_names,
+    lint_namespaces,
 )
+from repro.obs.slo import SLOAlert, SLOEngine, SLOSpec
 from repro.obs.telemetry import Telemetry
 from repro.obs.tracing import DecisionProvenance, Span, Trace, Tracer
 
@@ -26,12 +38,22 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NAME_PATTERN",
+    "REGISTERED_NAMESPACES",
+    "RUN_REPORT_SCHEMA",
+    "RunReport",
+    "SLOAlert",
+    "SLOEngine",
+    "SLOSpec",
     "Span",
     "Telemetry",
     "Trace",
     "Tracer",
+    "build_run_report",
+    "filter_trace",
     "lint_names",
+    "lint_namespaces",
     "to_chrome_trace",
     "write_chrome_trace",
+    "write_run_report",
     "write_trace_jsonl",
 ]

@@ -29,6 +29,9 @@ _CATEGORY_TRACKS = {
     "actuation": 3,
     "api": 4,
     "ha": 5,
+    "sched": 8,
+    "dp": 9,
+    "store": 10,
 }
 _FAULT_TRACK = 6
 _DEFAULT_TRACK = 7
@@ -109,6 +112,7 @@ def to_chrome_trace(trace: Trace, *, fault_log=None) -> dict:
                     "eid": getattr(episode, "eid", -1),
                     "target": episode.target,
                     "detail": episode.detail,
+                    "domain": getattr(episode, "domain", ""),
                 },
             })
     return {
@@ -154,6 +158,7 @@ def _write_jsonl(trace: Trace, handle: IO[str], *, fault_log=None) -> int:
                 "start": episode.start,
                 "end": episode.end,
                 "detail": episode.detail,
+                "domain": getattr(episode, "domain", ""),
             }) + "\n")
             lines += 1
     return lines
@@ -163,3 +168,34 @@ def write_trace_jsonl(trace: Trace, path: str, *, fault_log=None) -> int:
     """Write spans + provenance (+ faults) as JSONL; returns line count."""
     with open(path, "w") as handle:
         return _write_jsonl(trace, handle, fault_log=fault_log)
+
+
+def filter_trace(
+    trace: Trace,
+    *,
+    name_prefix: str | None = None,
+    since: float | None = None,
+) -> Trace:
+    """Slice a trace down for export: spans whose name starts with
+    ``name_prefix`` (when given) and that start at or after ``since``
+    (when given).
+
+    Provenance records are kept when their decision span survives the
+    filter, so a sliced JSONL stays internally consistent. Parent ids
+    are preserved as-is — an ancestor outside the slice simply has no
+    matching ``span`` line, which consumers already tolerate (the Chrome
+    exporter guards every flow arrow with ``trace.get``).
+    """
+    spans = trace.spans
+    if name_prefix is not None:
+        spans = [s for s in spans if s.name.startswith(name_prefix)]
+    if since is not None:
+        spans = [s for s in spans if s.start >= since]
+    kept_ids = {s.id for s in spans}
+    out = Trace()
+    for span in spans:
+        out.add(span)
+    out.provenance = [
+        p for p in trace.provenance if p.span_id in kept_ids
+    ]
+    return out

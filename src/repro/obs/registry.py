@@ -230,6 +230,29 @@ def lint_names(names: Sequence[str]) -> list[str]:
     return [n for n in names if not _NAME_RE.match(n)]
 
 
+#: Namespaces an instrument name may live under. A name with a ``/``
+#: declares a namespace in its first segment: ``sched/*`` (admission /
+#: backpressure / brownout), ``dp/*`` (data-plane FT engine), ``store/*``
+#: (object-store repair), ``slo/*`` (SLO engine exports). Bare names
+#: (``decisions_total``) are the legacy control-loop set and need no
+#: namespace.
+REGISTERED_NAMESPACES = ("sched", "dp", "store", "slo")
+
+
+def lint_namespaces(names: Sequence[str]) -> list[str]:
+    """Return *registered instrument* names under an unknown namespace.
+
+    Applies to registered names only, never to sampled/exported names:
+    histogram exports append ``/count``, ``/sum``, ``/p<q>`` segments to
+    the instrument name, so a sampled name's first segment is not always
+    a namespace (``reaction_latency/count``).
+    """
+    return [
+        n for n in names
+        if "/" in n and n.split("/", 1)[0] not in REGISTERED_NAMESPACES
+    ]
+
+
 def _lint_standard_instruments() -> int:  # pragma: no cover - CI entry point
     """CI lint: every standard Telemetry instrument obeys the naming law."""
     from repro.obs.telemetry import Telemetry
@@ -238,12 +261,20 @@ def _lint_standard_instruments() -> int:  # pragma: no cover - CI entry point
     registry = Telemetry(Engine()).registry
     sampled = list(registry.sample_metrics(0.0))
     bad = lint_names(registry.names()) + lint_names(sampled)
-    if bad:
-        print(f"metric names violating {NAME_PATTERN}: {bad}")
+    bad_ns = lint_namespaces(registry.names())
+    if bad or bad_ns:
+        if bad:
+            print(f"metric names violating {NAME_PATTERN}: {bad}")
+        if bad_ns:
+            print(
+                "instruments under unregistered namespaces "
+                f"(known: {REGISTERED_NAMESPACES}): {bad_ns}"
+            )
         return 1
     print(
         f"registry lint OK: {len(registry.names())} instruments, "
-        f"{len(sampled)} exported series match {NAME_PATTERN}"
+        f"{len(sampled)} exported series match {NAME_PATTERN}, "
+        f"namespaces within {REGISTERED_NAMESPACES}"
     )
     return 0
 

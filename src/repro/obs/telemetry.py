@@ -22,6 +22,10 @@ from repro.obs.tracing import Tracer
 #: up to many control periods.
 REACTION_BUCKETS = (1.0, 2.5, 5.0, 7.5, 10.0, 12.5, 15.0, 20.0, 30.0, 60.0)
 
+#: Buckets for the pending age of shed pods (seconds): fresh arrivals up
+#: to the default starvation timeout and beyond.
+SHED_AGE_BUCKETS = (5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0)
+
 
 class Telemetry:
     """Per-run observability bundle: causal tracer + self-metrics.
@@ -57,12 +61,178 @@ class Telemetry:
         self.step_downs = r.counter("step_downs_total")
         # -- engine -----------------------------------------------------------
         self.engine_events = r.counter("engine_events_total")
+        # -- sched/* : overload-resilience layer ------------------------------
+        # Counters the resilience components already maintain are synced
+        # at scrape time from attached refs (below); instruments are
+        # pre-registered unconditionally so the namespace lint covers
+        # them and every series exists (at zero) from the first scrape.
+        self.sched_pressure = r.gauge("sched/pressure")
+        self.sched_latch = r.gauge("sched/latch_active")
+        self.sched_activations = r.counter("sched/shed_activations_total")
+        self.sched_shed_total = r.counter("sched/shed_total")
+        # Per shed-class counters; dict keyed by the shed-class label
+        # ("best-effort" → metric segment best_effort).
+        self.sched_shed_class = {
+            cls: r.counter(f"sched/shed/{cls.replace('-', '_')}")
+            for cls in ("latency", "stream", "batch", "best-effort")
+        }
+        self.sched_rejected = r.counter("sched/rejected_pending_total")
+        self.sched_evicted = r.counter("sched/evicted_running_total")
+        self.sched_aged = r.counter("sched/aged_admissions_total")
+        self.shed_pending_age = r.histogram(
+            "sched/shed_pending_age", buckets=SHED_AGE_BUCKETS
+        )
+        self.bp_deferrals = r.counter("sched/backpressure/deferrals_total")
+        self.bp_coalesced = r.counter("sched/backpressure/coalesced_total")
+        self.bp_releases = r.counter("sched/backpressure/releases_total")
+        self.bp_dropped = r.counter("sched/backpressure/dropped_total")
+        self.bp_queued = r.gauge("sched/backpressure/queued")
+        self.brownout_active = r.gauge("sched/brownout/active")
+        self.brownout_entries = r.counter("sched/brownout/entries_total")
+        self.brownout_exits = r.counter("sched/brownout/exits_total")
+        # -- dp/* : data-plane FT engine --------------------------------------
+        self.dp_retired = r.counter("dp/retired_work")
+        self.dp_reopened = r.counter("dp/reopened_work")
+        self.dp_wasted = r.counter("dp/wasted_work")
+        self.dp_recomputes = r.counter("dp/lineage_recomputes_total")
+        self.dp_executor_losses = r.counter("dp/executor_losses_total")
+        self.dp_spec_launched = r.counter("dp/speculative_launched_total")
+        self.dp_spec_wins = r.counter("dp/speculative_wins_total")
+        self.dp_quarantined = r.gauge("dp/quarantined_stages")
+        self.dp_checkpoints = r.counter("dp/stream/checkpoints_total")
+        self.dp_restarts = r.counter("dp/stream/restarts_total")
+        self.dp_replayed = r.counter("dp/stream/replayed_total")
+        self.dp_lag_events = r.gauge("dp/stream/lag_events")
+        # -- store/* : object-store repair loop -------------------------------
+        self.store_scans = r.counter("store/repair_scans_total")
+        self.store_backlog = r.gauge("store/repair_backlog")
+        self.store_repaired = r.counter("store/repaired_objects_total")
+        self.store_traffic = r.counter("store/repair_traffic_mb")
+        self.store_dropped = r.counter("store/replicas_dropped_total")
+        self.store_unplaceable = r.counter("store/unplaceable_total")
+        # Attached component refs, synced per scrape when present. All
+        # default empty/None: a run without the matching subsystem pays
+        # only the truth-test per scrape (the overhead gate's scenario
+        # enables none of them).
+        self._admission = None
+        self._managers: list = []
+        self._dp_jobs: list = []
+        self._dp_streams: list = []
+        self._repair = None
         # Previous scrape's full export, for delta suppression (below).
         self._last_export: dict[str, float] | None = None
 
     @property
     def trace(self):
         return self.tracer.trace
+
+    # -- component attachment (platform wiring) -------------------------------
+
+    def attach_admission(self, admission) -> None:
+        """Sync ``sched/*`` admission metrics from this controller."""
+        self._admission = admission
+
+    def attach_manager(self, manager) -> None:
+        """Sync backpressure/brownout ``sched/*`` metrics from this
+        control-loop manager. Attach only managers with at least one of
+        the two features armed — unarmed managers have nothing to sync
+        and would cost scrape-time work for nothing."""
+        self._managers.append(manager)
+
+    def attach_dataplane_job(self, job) -> None:
+        """Sync ``dp/*`` task-engine metrics from this FT BigDataJob."""
+        self._dp_jobs.append(job)
+
+    def attach_stream(self, stream) -> None:
+        """Sync ``dp/stream/*`` metrics from this FT StreamJob."""
+        self._dp_streams.append(stream)
+
+    def attach_repair(self, repair) -> None:
+        """Sync ``store/*`` metrics from this StorageRepairService."""
+        self._repair = repair
+
+    def _sync_components(self) -> None:
+        """Pull resilience / data-plane / storage counters into the
+        registry. Sync-at-scrape, like ``engine_events``: the components
+        maintain these counts anyway, so telemetry reads them instead of
+        charging every occurrence an instrument call. Plain attribute
+        arithmetic throughout — the overhead gate counts function calls.
+        """
+        adm = self._admission
+        if adm is not None:
+            self.sched_pressure.value = adm.last_pressure
+            self.sched_latch.value = 1.0 if adm.shedding_active else 0.0
+            self.sched_activations.value = float(adm.activations)
+            self.sched_shed_total.value = float(adm.shed_total)
+            by_class = adm.shed_by_class
+            for cls, counter in self.sched_shed_class.items():
+                counter.value = float(by_class[cls])
+            self.sched_rejected.value = float(adm.rejected_pending)
+            self.sched_evicted.value = float(adm.evicted_running)
+            self.sched_aged.value = float(adm.aged_admissions)
+        if self._managers:
+            deferrals = coalesced = releases = dropped = queued = 0
+            entries = exits = active = 0
+            for manager in self._managers:
+                bp = manager.backpressure
+                if bp is not None:
+                    deferrals += bp.deferrals
+                    coalesced += bp.coalesced
+                    releases += bp.releases
+                    dropped += bp.dropped
+                    queued += len(bp.deferred)
+                entries += manager.brownout_entries_total
+                exits += manager.brownout_exits_total
+                active += manager.brownout_active_total
+            self.bp_deferrals.value = float(deferrals)
+            self.bp_coalesced.value = float(coalesced)
+            self.bp_releases.value = float(releases)
+            self.bp_dropped.value = float(dropped)
+            self.bp_queued.value = float(queued)
+            self.brownout_entries.value = float(entries)
+            self.brownout_exits.value = float(exits)
+            self.brownout_active.value = float(active)
+        if self._dp_jobs:
+            retired = reopened = wasted = 0.0
+            recomputes = losses = launched = wins = quarantined = 0
+            for job in self._dp_jobs:
+                retired += job.ft_retired_work
+                reopened += job.ft_reopened_work
+                wasted += job.ft_wasted_work
+                recomputes += job.lineage_recomputes
+                losses += job.executor_losses
+                launched += job.speculative_launched
+                wins += job.speculative_wins
+                if job.quarantined_stage is not None:
+                    quarantined += 1
+            self.dp_retired.value = retired
+            self.dp_reopened.value = reopened
+            self.dp_wasted.value = wasted
+            self.dp_recomputes.value = float(recomputes)
+            self.dp_executor_losses.value = float(losses)
+            self.dp_spec_launched.value = float(launched)
+            self.dp_spec_wins.value = float(wins)
+            self.dp_quarantined.value = float(quarantined)
+        if self._dp_streams:
+            checkpoints = restarts = 0
+            replayed = lag = 0.0
+            for stream in self._dp_streams:
+                checkpoints += stream.checkpoints
+                restarts += stream.restarts
+                replayed += stream.replayed_total
+                lag += stream.lag_events
+            self.dp_checkpoints.value = float(checkpoints)
+            self.dp_restarts.value = float(restarts)
+            self.dp_replayed.value = replayed
+            self.dp_lag_events.value = lag
+        repair = self._repair
+        if repair is not None:
+            self.store_scans.value = float(repair.scans)
+            self.store_backlog.value = float(repair.backlog())
+            self.store_repaired.value = float(repair.repaired_objects)
+            self.store_traffic.value = repair.repair_traffic_mb
+            self.store_dropped.value = float(repair.dropped_replicas)
+            self.store_unplaceable.value = float(repair.unplaceable)
 
     # -- MetricsSource protocol (the collector scrapes the bundle) ------------
 
@@ -74,6 +244,7 @@ class Telemetry:
         # time rather than incremented per occurrence — observing every
         # engine event from telemetry would cost a call per event.
         self.engine_events.value = float(self.engine.events_executed)
+        self._sync_components()
         full = self.registry.sample_metrics(now)
         last = self._last_export
         self._last_export = full

@@ -8,6 +8,7 @@ from typing import Mapping
 from repro.cluster.node import Node
 from repro.cluster.resources import ResourceVector
 from repro.dataplane import DataPlaneConfig
+from repro.obs.slo import SLOSpec
 from repro.scheduler.admission import OverloadConfig
 
 __all__ = [
@@ -16,6 +17,7 @@ __all__ = [
     "build_nodes",
     "DataPlaneConfig",
     "OverloadConfig",
+    "SLOSpec",
     "PlatformConfig",
 ]
 
@@ -165,6 +167,12 @@ class PlatformConfig:
     #: registry. Observation-only: seeded runs are bit-identical with
     #: telemetry on or off.
     telemetry: bool = False
+    #: Declarative SLOs evaluated by :class:`repro.obs.slo.SLOEngine`
+    #: after each scrape round. Requires ``telemetry=True`` (the engine
+    #: exports ``slo/*`` gauges and the RunReport needs the trace).
+    #: Observation-only: seeded runs are bit-identical with SLOs on or
+    #: off.
+    slos: tuple[SLOSpec, ...] = ()
     # -- correctness harness (repro.verify) ----------------------------------
     #: Attach the cluster-wide invariant checker to the engine's cycle
     #: hook. Observation-only: seeded runs are bit-identical with the
@@ -201,3 +209,5 @@ class PlatformConfig:
             raise ValueError("fsync_latency must be non-negative")
         if self.verify_every < 1:
             raise ValueError("verify_every must be ≥ 1")
+        if self.slos and not self.telemetry:
+            raise ValueError("slos require telemetry=True")

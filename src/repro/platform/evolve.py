@@ -49,6 +49,7 @@ from repro.control.multiresource import AllocationBounds
 from repro.control.statestore import ControllerStateStore
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.faults import MetricsFaultInjector
+from repro.obs.slo import SLOEngine
 from repro.obs.telemetry import Telemetry
 from repro.platform.config import ClusterSpec, PlatformConfig, build_nodes
 from repro.scheduler.admission import AdmissionController
@@ -233,6 +234,19 @@ class EvolvePlatform:
         self.telemetry: Telemetry | None = None
         if self.config.telemetry:
             self._enable_telemetry()
+        # -- SLO engine (ISSUE 8) ---------------------------------------------
+        # Evaluates declarative SLOs after every completed scrape round.
+        # Observation-only (no events, no RNG): seeded runs are
+        # bit-identical with SLOs on or off. Config validation guarantees
+        # telemetry is enabled whenever SLOs are declared.
+        self.slo_engine: SLOEngine | None = None
+        if self.config.slos:
+            self.slo_engine = SLOEngine(
+                self.collector,
+                self.config.slos,
+                registry=self.telemetry.registry,
+            )
+            self.collector.add_scrape_hook(self.slo_engine.on_scrape)
         self.checker = None
         if self.config.verify:
             # Imported lazily: repro.verify imports cluster/control/sim
@@ -269,6 +283,21 @@ class EvolvePlatform:
             manager = getattr(policy, "manager", None)
             if manager is not None:
                 manager.telemetry = tel
+                # Only managers with backpressure or brownout armed have
+                # sched/* state to sync; attaching unarmed ones would
+                # add scrape-time work for nothing.
+                if (
+                    manager.backpressure is not None
+                    or manager.brownout_cfg is not None
+                ):
+                    tel.attach_manager(manager)
+        if self.admission is not None:
+            self.admission.telemetry = tel
+            self.admission.scrape_span_at = self.collector.scrape_span_at
+            tel.attach_admission(self.admission)
+        if self.repair is not None:
+            self.repair.telemetry = tel
+            tel.attach_repair(self.repair)
 
     def _node_live(self, name: str) -> bool:
         """Store liveness predicate: a dark node serves no replicas."""
@@ -568,6 +597,15 @@ class EvolvePlatform:
         self.apps[app.name] = app
         app.maintain_replicas = True  # survive preemption and node failure
         self.collector.register(app)
+        tel = self.telemetry
+        if tel is not None and getattr(app, "ft", None) is not None:
+            # FT-enabled data-plane workloads trace their recovery events
+            # and feed the dp/* aggregate instruments.
+            app.telemetry = tel
+            if isinstance(app, BigDataJob):
+                tel.attach_dataplane_job(app)
+            else:
+                tel.attach_stream(app)
         if plo is not None:
             app.plo = plo
             self.monitor.track(app)

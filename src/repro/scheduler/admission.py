@@ -172,6 +172,14 @@ class AdmissionController:
         self.evicted_running = 0
         self.aged_admissions = 0
         self.last_pressure = 0.0
+        #: Optional :class:`~repro.obs.telemetry.Telemetry` bundle; when
+        #: set, latch transitions and shed/evict decisions are traced
+        #: under the ``sched`` category and shed pending-ages observed.
+        self.telemetry = None
+        #: Optional ``collector.scrape_span_at`` ref: parents each admit
+        #: cycle span to the scrape round whose signals it acted on,
+        #: extending the causal DecisionProvenance graph into shedding.
+        self.scrape_span_at = None
 
     # -- pressure & latch -----------------------------------------------------
 
@@ -203,9 +211,19 @@ class AdmissionController:
                 and pending_depth < self.config.pending_high
             ):
                 self.shedding_active = False
+                if self.telemetry is not None:
+                    self.telemetry.tracer.instant(
+                        "shed_latch_off", "sched",
+                        pressure=pressure, pending=pending_depth,
+                    )
         elif hot:
             self.shedding_active = True
             self.activations += 1
+            if self.telemetry is not None:
+                self.telemetry.tracer.instant(
+                    "shed_latch_on", "sched",
+                    pressure=pressure, pending=pending_depth,
+                )
 
     # -- cycle hooks ----------------------------------------------------------
 
@@ -216,6 +234,27 @@ class AdmissionController:
             return pending
 
         now = self.engine.now
+        tel = self.telemetry
+        cycle_span = None
+        if tel is not None:
+            # Parent the admit cycle to the scrape round whose pressure
+            # signal set the latch, when the link is wired.
+            parent = (
+                self.scrape_span_at(now)
+                if self.scrape_span_at is not None
+                else None
+            )
+            cycle_span = tel.tracer.begin(
+                "admit", "sched", parent=parent,
+                pending=len(pending), pressure=self.last_pressure,
+            )
+        try:
+            return self._shed_and_reorder(pending, now, tel, cycle_span)
+        finally:
+            if cycle_span is not None:
+                tel.tracer.end(cycle_span)
+
+    def _shed_and_reorder(self, pending, now, tel, cycle_span):
         timeout = self.config.starvation_timeout
         aged: list[Pod] = []
         fresh: list[Pod] = []
@@ -243,6 +282,13 @@ class AdmissionController:
                 self._count_shed(cls)
                 self.rejected_pending += 1
                 budget -= 1
+                if tel is not None:
+                    age = now - pod.created_at
+                    tel.shed_pending_age.observe(age)
+                    tel.tracer.instant(
+                        "shed", "sched", parent=cycle_span,
+                        pod=pod.name, shed_class=cls, age=age,
+                    )
 
         admitted = [pod for pod in fresh if pod.name not in shed]
         admitted.sort(key=lambda pod: CLASS_RANK[classify_pod(pod)])
@@ -272,6 +318,11 @@ class AdmissionController:
         self.api.delete_pod(victim.name, reason="load-shed")
         self._count_shed("best-effort")
         self.evicted_running += 1
+        if self.telemetry is not None:
+            self.telemetry.tracer.instant(
+                "shed_evict", "sched", pod=victim.name,
+                shed_class="best-effort",
+            )
 
     def _count_shed(self, cls: str) -> None:
         self.shed_total += 1

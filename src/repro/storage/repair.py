@@ -63,6 +63,10 @@ class StorageRepairService:
         # the per-scan budget.
         self._debt_mb = 0.0
         self._handle = None
+        #: Optional :class:`~repro.obs.telemetry.Telemetry` bundle; when
+        #: set, replica drops and working repair cycles are traced under
+        #: the ``store`` category.
+        self.telemetry = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -95,7 +99,18 @@ class StorageRepairService:
             if ref not in self._queued:
                 self._queue.append(ref)
                 self._queued.add(ref)
+        repaired_before = self.repaired_objects
         self._drain(now)
+        # Only cycles that moved data are traced — an idle scan every
+        # repair_interval would bury the timeline in no-op spans.
+        if self.telemetry is not None and (
+            self.repaired_objects > repaired_before or self._queue
+        ):
+            self.telemetry.tracer.instant(
+                "repair_cycle", "store",
+                repaired=self.repaired_objects - repaired_before,
+                backlog=len(self._queue),
+            )
 
     def _drop_dark_replicas(self, now: float) -> None:
         for node in self.api.list_nodes():
@@ -104,14 +119,20 @@ class StorageRepairService:
                 self._dark.add(node.name)
                 dropped = self.store.drop_node(node.name)
                 self.dropped_replicas += dropped
-                if dropped and self.log is not None:
-                    self.log.record(
-                        "storage-replica-loss",
-                        node.name,
-                        now,
-                        now,
-                        detail=f"replicas_dropped={dropped}",
-                    )
+                if dropped:
+                    if self.log is not None:
+                        self.log.record(
+                            "storage-replica-loss",
+                            node.name,
+                            now,
+                            now,
+                            detail=f"replicas_dropped={dropped}",
+                        )
+                    if self.telemetry is not None:
+                        self.telemetry.tracer.instant(
+                            "replica_drop", "store",
+                            node=node.name, dropped=dropped,
+                        )
             elif not dark:
                 self._dark.discard(node.name)
 

@@ -267,6 +267,10 @@ class BigDataJob(Application):
         self.ft = ft if ft is not None and ft.enabled else None
         self.quarantined_stage: str | None = None
         self.failed_at: float | None = None
+        #: Optional :class:`~repro.obs.telemetry.Telemetry` bundle; when
+        #: set, FT events (executor loss, lineage recompute, speculation,
+        #: quarantine) are traced under the ``dp`` category.
+        self.telemetry = None
         if self.ft is not None:
             self._runtime = {s.name: _StageTasks(s) for s in self.stages}
             self._dependents: dict[str, list[Stage]] = {s.name: [] for s in self.stages}
@@ -508,6 +512,11 @@ class BigDataJob(Application):
         if not lost:
             return
         self.executor_losses += len(lost)
+        if self.telemetry is not None:
+            self.telemetry.tracer.instant(
+                "executor_loss", "dp", job=self.name,
+                lost=len(lost), executors=sorted(lost),
+            )
         for name in lost:
             self._slow_ticks.pop(name, None)
         for rt in self._runtime.values():
@@ -556,6 +565,11 @@ class BigDataJob(Application):
             if rt.attempts > self.ft.stage_max_attempts:
                 self.quarantined_stage = stage.name
                 self.failed_at = now
+                if self.telemetry is not None:
+                    self.telemetry.tracer.instant(
+                        "stage_quarantine", "dp", job=self.name,
+                        stage=stage.name, attempts=rt.attempts,
+                    )
                 self.current_throughput = 0.0
                 for pod in self.pods():
                     if not pod.terminal:
@@ -620,6 +634,11 @@ class BigDataJob(Application):
                     self._clear_spec(t)
                     self.ft_reopened_work += t.work
                 self.lineage_recomputes += len(lost)
+                if self.telemetry is not None:
+                    self.telemetry.tracer.instant(
+                        "lineage_recompute", "dp", job=self.name,
+                        stage=stage.name, tasks=len(lost),
+                    )
                 self._charge_attempt(rt, now)
                 rt.sync_stage()
                 changed = True
@@ -692,6 +711,12 @@ class BigDataJob(Application):
                 t.spec_work_left = t.work
                 t.spec_input_left = t.input_mb
                 self.speculative_launched += 1
+                if self.telemetry is not None:
+                    self.telemetry.tracer.instant(
+                        "speculation_launch", "dp", job=self.name,
+                        stage=rt.stage.name, task=t.index,
+                        straggler=t.runner, duplicate=pod_name,
+                    )
                 return t, False
         return None
 
@@ -782,6 +807,11 @@ class BigDataJob(Application):
         else:
             self.ft_wasted_work += t.work - t.work_left
             self.speculative_wins += 1
+            if self.telemetry is not None:
+                self.telemetry.tracer.instant(
+                    "speculation_win", "dp", job=self.name,
+                    task=t.index, winner=pod.name, loser=t.runner,
+                )
             t.runner = pod.name
             self._clear_spec(t)
         t.done = True

@@ -156,6 +156,10 @@ class StreamJob(Application):
         self.current_offered = 0.0
         self.total_processed = 0.0
         self.total_arrived = 0.0
+        #: Optional :class:`~repro.obs.telemetry.Telemetry` bundle; when
+        #: set, checkpoint barriers and rollback/replay restarts are
+        #: traced under the ``dp`` category.
+        self.telemetry = None
         # -- checkpoint/replay state (None → seed behaviour) --
         self.ft = ft if ft is not None and ft.enabled else None
         if self.ft is not None:
@@ -208,6 +212,11 @@ class StreamJob(Application):
                 self.replayed_total += replayed
                 self.total_processed = self._ckpt_processed
             self._restore_until = now + self.ft.restore_delay
+            if self.telemetry is not None:
+                self.telemetry.tracer.instant(
+                    "stream_restart", "dp", job=self.name,
+                    lost=len(lost), replayed=replayed,
+                )
         restoring = now < self._restore_until
         if (
             not restoring
@@ -216,6 +225,11 @@ class StreamJob(Application):
             self._ckpt_processed = self.total_processed
             self.last_checkpoint_at = now
             self.checkpoints += 1
+            if self.telemetry is not None:
+                self.telemetry.tracer.instant(
+                    "stream_checkpoint", "dp", job=self.name,
+                    processed=self.total_processed,
+                )
         return restoring
 
     def tick(self, dt: float, now: float) -> None:

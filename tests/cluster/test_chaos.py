@@ -474,6 +474,7 @@ class TestExecutorKillDomain:
         assert cluster.get_pod("svc").phase == PodPhase.RUNNING
         assert dom.kills == 1
         assert log.episodes[0].kind == "executor-kill"
+        assert log.episodes[0].domain == "executor-kill"
         dom.heal(victim)  # no-op by contract
 
     def test_no_candidates_is_a_noop(self, engine, cluster):
@@ -493,6 +494,7 @@ class TestStragglerDomain:
         name, episode = token
         assert cluster.get_node(name).speed_factor == 0.25
         assert episode.kind == "node-straggler" and episode.active
+        assert episode.domain == "straggler"
         dom.heal(token)
         assert cluster.get_node(name).speed_factor == 1.0
         assert not episode.active
@@ -530,6 +532,7 @@ class TestDataLossDomain:
         assert dom.strikes == 1
         assert dom.replicas_dropped >= 1
         assert log.episodes[0].kind == "data-loss"
+        assert log.episodes[0].domain == "data-loss"
         dom.heal(victim)  # no-op: wiped data stays gone
         assert victim not in store.nodes_with_data()
 

@@ -7,6 +7,7 @@ import pytest
 from repro.cluster.chaos import FaultLog
 from repro.obs.export import (
     TIME_SCALE,
+    filter_trace,
     to_chrome_trace,
     write_chrome_trace,
     write_trace_jsonl,
@@ -133,3 +134,88 @@ class TestJsonl:
                     if json.loads(line)["type"] == "provenance")
         assert prov["scrape_span_id"] == scrape.id
         assert prov["span_id"] == decide.id
+
+
+class TestEdgeCases:
+    def test_empty_trace_exports_cleanly(self, tracer, tmp_path):
+        doc = to_chrome_trace(tracer.trace)
+        assert doc["traceEvents"] == []
+        assert doc["metadata"]["spans"] == 0
+        json.dumps(doc)  # loadable by Perfetto
+        path = tmp_path / "empty.jsonl"
+        assert write_trace_jsonl(tracer.trace, str(path)) == 0
+        assert path.read_text() == ""
+
+    def test_only_unfinished_spans_export(self, engine, tracer):
+        # begin() without end(): the span's end stays at its start, so
+        # it exports as a minimum-width complete event, not a crash.
+        engine.schedule(3.0, lambda: tracer.begin("stuck", "control"))
+        engine.run_until(3.0)
+        doc = to_chrome_trace(tracer.trace)
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert event["name"] == "stuck"
+        assert event["ts"] == pytest.approx(3.0 * TIME_SCALE)
+        assert event["dur"] >= 1.0
+
+    def test_zero_telemetry_sample_run_chrome_output(self, tmp_path):
+        # A platform run whose collector never scraped (duration
+        # shorter than the scrape interval) still produces a valid,
+        # loadable Chrome trace with zero metrics-track events.
+        from repro.platform.config import ClusterSpec, PlatformConfig
+        from repro.platform.evolve import EvolvePlatform
+
+        platform = EvolvePlatform(
+            cluster_spec=ClusterSpec(node_count=2),
+            config=PlatformConfig(seed=1, telemetry=True),
+        )
+        platform.run(1.0)  # below the 5 s scrape interval
+        path = tmp_path / "calm.json"
+        write_chrome_trace(platform.telemetry.trace, str(path),
+                           fault_log=platform.fault_log)
+        doc = json.loads(path.read_text())
+        assert not [e for e in doc["traceEvents"]
+                    if e.get("name") == "scrape"]
+        json.dumps(doc)
+
+
+class TestFilterTrace:
+    def test_name_prefix_keeps_matching_spans_and_provenance(self, tracer):
+        scrape, decide, actuate = _sample_trace(tracer)
+        out = filter_trace(tracer.trace, name_prefix="dec")
+        assert [s.id for s in out.spans] == [decide.id]
+        # The provenance record's decision span survived the filter.
+        assert [p.span_id for p in out.provenance] == [decide.id]
+        out = filter_trace(tracer.trace, name_prefix="scr")
+        assert [s.id for s in out.spans] == [scrape.id]
+        assert out.provenance == []  # decision span filtered away
+
+    def test_since_drops_earlier_spans(self, engine, tracer):
+        tracer.instant("early")
+        engine.schedule(10.0, lambda: tracer.instant("late"))
+        engine.run_until(10.0)
+        out = filter_trace(tracer.trace, since=5.0)
+        assert [s.name for s in out.spans] == ["late"]
+
+    def test_filters_compose(self, engine, tracer):
+        tracer.instant("shed", "sched")
+        engine.schedule(10.0, lambda: tracer.instant("shed", "sched"))
+        engine.schedule(10.0, lambda: tracer.instant("other"))
+        engine.run_until(10.0)
+        out = filter_trace(tracer.trace, name_prefix="shed", since=5.0)
+        assert len(out.spans) == 1
+        assert out.spans[0].start == 10.0
+
+    def test_sliced_trace_exports_with_dangling_parents(self, tracer):
+        # A kept child whose parent was filtered out must not break the
+        # Chrome exporter (flow arrows are guarded by trace.get).
+        _, _, actuate = _sample_trace(tracer)
+        out = filter_trace(tracer.trace, name_prefix="act")
+        assert [s.id for s in out.spans] == [actuate.id]
+        doc = to_chrome_trace(out)
+        assert [e["ph"] for e in doc["traceEvents"]] == ["X"]
+
+    def test_no_filters_is_a_copy_with_everything(self, tracer):
+        _sample_trace(tracer)
+        out = filter_trace(tracer.trace)
+        assert len(out.spans) == 3
+        assert len(out.provenance) == 1

@@ -4,9 +4,11 @@ import pytest
 
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
+    REGISTERED_NAMESPACES,
     Histogram,
     MetricsRegistry,
     lint_names,
+    lint_namespaces,
     validate_name,
 )
 
@@ -29,6 +31,36 @@ class TestNaming:
     def test_registry_rejects_bad_name(self):
         with pytest.raises(ValueError):
             MetricsRegistry().counter("NotSnake")
+
+
+class TestNamespaceLint:
+    def test_registered_namespaces_pass(self):
+        names = [f"{ns}/thing_total" for ns in REGISTERED_NAMESPACES]
+        assert lint_namespaces(names) == []
+
+    def test_unregistered_prefix_flagged(self):
+        assert lint_namespaces([
+            "sched/shed_total",
+            "widget/count",          # unregistered namespace
+            "dp/stream/lag_events",  # nested segments are fine
+            "typo/into/the_void",
+        ]) == ["widget/count", "typo/into/the_void"]
+
+    def test_flat_names_are_exempt(self):
+        # Legacy un-namespaced instruments (decisions_total, scrapes)
+        # carry no prefix to validate.
+        assert lint_namespaces(["decisions_total", "scrapes"]) == []
+
+    def test_telemetry_instruments_pass_the_namespace_lint(self):
+        # Every namespaced instrument Telemetry pre-registers must use
+        # a declared namespace — the CI entry point fails otherwise.
+        from repro.obs.telemetry import Telemetry
+        from repro.sim.engine import Engine
+
+        telemetry = Telemetry(Engine())
+        namespaced = [n for n in telemetry.registry.names() if "/" in n]
+        assert namespaced, "expected sched/dp/store instruments"
+        assert lint_namespaces(telemetry.registry.names()) == []
 
 
 class TestCounterGauge:

@@ -107,3 +107,32 @@ def test_trace_command_jsonl(tmp_path, capsys):
     assert "span" in kinds
     assert "provenance" in kinds
     assert "JSONL lines" in capsys.readouterr().out
+
+
+def test_trace_command_filter_and_since(tmp_path, capsys):
+    out = tmp_path / "run.jsonl"
+    assert main(["trace", str(out), "--format", "jsonl",
+                 "--duration", "600", "--filter", "actuate",
+                 "--since", "300"]) == 0
+    lines = [json.loads(line) for line in out.read_text().splitlines()]
+    spans = [line for line in lines if line["type"] == "span"]
+    assert spans
+    assert all(line["name"].startswith("actuate") for line in spans)
+    assert all(line["start"] >= 300.0 for line in spans)
+
+
+def test_report_command_calm(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    assert main(["report", "calm", "--duration", "600",
+                 "--output", str(out)]) == 0
+    stdout = capsys.readouterr().out
+    assert "svc_latency" in stdout
+    assert "overall attainment" in stdout
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.run_report/v1"
+    assert doc["slos"]["svc_latency"]["attainment"] == 1.0
+
+
+def test_report_command_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["report", "atlantis"])
