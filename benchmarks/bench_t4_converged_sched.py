@@ -73,7 +73,8 @@ def test_t4_converged_scheduling(benchmark, report):
         ])
     report(
         "",
-        f"R-T4: one mixed-worlds trace, three schedulers ({DURATION / HOUR:.0f} h, 6 nodes)",
+        f"R-T4: one mixed-worlds trace, three schedulers "
+        f"({DURATION / HOUR:.0f} h, 6 nodes)",
         format_table(
             ["scheduler", "svc violations", "batch makespan",
              "gang wait", "gangs done", "cluster usage"],

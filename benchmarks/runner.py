@@ -446,6 +446,32 @@ def _run_t12(mode: str) -> dict:
             "metrics": metrics, "report": reports}
 
 
+def _run_t13(mode: str) -> dict:
+    # Imported lazily: the arena pulls in the scenario pack and the
+    # fuzzer's platform builder, which the other adapters never need.
+    from benchmarks import bench_t13_arena as bench_t13
+    from repro.arena import run_arena
+
+    if _SEED_OVERRIDE is not None:
+        # The shape checks are calibrated at the pack's native seeds;
+        # under --seed only the sweep itself runs (like every budget).
+        payload = run_arena(seed=_SEED_OVERRIDE)
+    else:
+        # Smoke replays the pack at its native horizons (the pack IS
+        # CI-sized); full mode doubles every cell's horizon so slow
+        # convergence and late reclaim show up in the scorecards.
+        payload = bench_t13.run_case(
+            horizon=bench_t13.FULL_HORIZON if mode == "full" else None
+        )
+        bench_t13.check_case(payload)
+    return {
+        "seed": payload["seed"],
+        "events_executed": payload["events_executed"],
+        "metrics": payload["metrics"],
+        "timing": payload["timing"],
+    }
+
+
 def _run_f1(mode: str) -> dict:
     policies = ("adaptive",) if mode == "smoke" else (
         "static", "hpa", "vpa", "adaptive")
@@ -904,6 +930,12 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "t12", "benchmarks.bench_t12_slo",
         "R-T12: SLO attainment and burn-rate alerting", _run_t12,
         budgets={"events_executed": 21_000}),
+    Experiment(
+        # Named "arena" (not "t13") so the artifact lands as
+        # BENCH_arena.json — the leaderboard file CI renders and uploads.
+        "arena", "benchmarks.bench_t13_arena",
+        "R-T13: autoscaler arena (policy x scenario scorecards)", _run_t13,
+        budgets={"events_executed": 70_000}),
     Experiment(
         "f1", "benchmarks.bench_f1_latency_timeline",
         "R-F1: latency timeline per policy", _run_f1,

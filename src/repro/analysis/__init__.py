@@ -9,7 +9,12 @@ from repro.analysis.stats import (
     utilization_summary,
 )
 from repro.analysis.report import format_table, series_to_rows
-from repro.analysis.cost import CostReport, PriceSheet, app_cost, cluster_provisioned_cost
+from repro.analysis.cost import (
+    CostReport,
+    PriceSheet,
+    app_cost,
+    cluster_provisioned_cost,
+)
 from repro.analysis.energy import EnergyReport, PowerModel, cluster_energy
 from repro.analysis.recovery import (
     EpisodeRecovery,

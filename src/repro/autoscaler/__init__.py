@@ -8,9 +8,22 @@
   request recommendation, VPA-style.
 * :class:`~repro.autoscaler.adaptive.AdaptiveAutoscaler` — the paper's
   multi-resource adaptive PID controller with a horizontal escape valve.
+
+All four are registered with the pluggable policy registry
+(:mod:`repro.autoscaler.registry`); new policies join the platform, the
+CLI, and the arena by registering a factory — see ``docs/arena.md``.
 """
 
 from repro.autoscaler.base import AutoscalerBase
+from repro.autoscaler.registry import (
+    AutoscalerPolicy,
+    PolicyContext,
+    PolicyInterfaceError,
+    UnknownPolicyError,
+    build_policy,
+    register_policy,
+    registered_policies,
+)
 from repro.autoscaler.static import StaticPolicy
 from repro.autoscaler.hpa import HorizontalPodAutoscaler
 from repro.autoscaler.vpa import VerticalPodAutoscaler
@@ -18,9 +31,16 @@ from repro.autoscaler.adaptive import AdaptiveAutoscaler, HorizontalEscapePolicy
 
 __all__ = [
     "AutoscalerBase",
+    "AutoscalerPolicy",
+    "PolicyContext",
+    "PolicyInterfaceError",
+    "UnknownPolicyError",
     "StaticPolicy",
     "HorizontalPodAutoscaler",
     "VerticalPodAutoscaler",
     "AdaptiveAutoscaler",
     "HorizontalEscapePolicy",
+    "build_policy",
+    "register_policy",
+    "registered_policies",
 ]

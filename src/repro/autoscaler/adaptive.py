@@ -129,6 +129,10 @@ class AdaptiveAutoscaler:
 
     policy_name = "adaptive-multiresource"
 
+    #: The platform refuses to manage PLO-less apps under this policy:
+    #: the control loop is error-driven and has no signal without one.
+    requires_plo = True
+
     def __init__(
         self,
         engine: Engine,
@@ -192,6 +196,11 @@ class AdaptiveAutoscaler:
             feedforward=self.feedforward,
         )
         return controller
+
+    def detach(self, app: Application) -> None:
+        """Release ``app`` from management (idempotent)."""
+        self.controllers.pop(app.name, None)
+        self.manager.unregister(app.name)
 
     def start(self) -> None:
         self.manager.start()

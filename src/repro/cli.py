@@ -272,6 +272,76 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return runner.main(argv)
 
 
+def cmd_arena(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro import arena
+    from repro.scenarios import UnknownScenarioError, scenario_names
+
+    if args.list:
+        from repro.scenarios import load_pack
+
+        print("policies :", ", ".join(POLICIES))
+        for entry in load_pack():
+            print(f"{entry.name:>15s}  {entry.description}")
+        return 0
+
+    policies = None
+    if args.policies is not None:
+        policies = tuple(
+            p.strip() for p in args.policies.split(",") if p.strip()
+        )
+        unknown = [p for p in policies if p not in POLICIES]
+        if unknown:
+            print(
+                f"error: unknown policies: {', '.join(unknown)} "
+                f"(registered: {', '.join(POLICIES)})",
+                file=sys.stderr,
+            )
+            return 2
+    scenarios = None
+    if args.scenarios is not None:
+        scenarios = tuple(
+            s.strip() for s in args.scenarios.split(",") if s.strip()
+        )
+        unknown = [s for s in scenarios if s not in scenario_names()]
+        if unknown:
+            print(
+                f"error: unknown scenarios: {', '.join(unknown)} "
+                f"(pack: {', '.join(scenario_names())})",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        payload = arena.run_arena(
+            policies=policies, scenarios=scenarios, seed=args.seed
+        )
+    except UnknownScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(arena.leaderboard_text(payload))
+    if args.json is not None:
+        from pathlib import Path
+
+        outdir = Path(args.json)
+        outdir.mkdir(parents=True, exist_ok=True)
+        path = outdir / "BENCH_arena.json"
+        body = dict(payload)
+        body["experiment"] = "arena"
+        path.write_text(
+            _json.dumps(body, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\nwrote {path}")
+    if args.markdown is not None:
+        from pathlib import Path
+
+        Path(args.markdown).write_text(
+            arena.leaderboard_markdown(payload) + "\n"
+        )
+        print(f"wrote {args.markdown}")
+    return 0
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.verify import fuzzer
 
@@ -393,6 +463,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "gates are skipped: they are calibrated at the "
                             "default seeds; see docs/testing.md)")
     bench.set_defaults(func=cmd_bench)
+
+    ar = sub.add_parser(
+        "arena",
+        help="score every registered autoscaler policy on the scenario "
+             "pack and print the leaderboard (see docs/arena.md)",
+    )
+    ar.add_argument("--policies", default=None,
+                    help="comma-separated policy names "
+                         "(default: every registered policy)")
+    ar.add_argument("--scenarios", default=None,
+                    help="comma-separated pack scenario names "
+                         "(default: the whole pack)")
+    ar.add_argument("--seed", type=int, default=None,
+                    help="override every scenario's episode seed")
+    ar.add_argument("--json", metavar="DIR", default=None,
+                    help="write the BENCH_arena.json artifact here")
+    ar.add_argument("--markdown", metavar="FILE", default=None,
+                    help="write the leaderboard as a markdown table "
+                         "(for $GITHUB_STEP_SUMMARY)")
+    ar.add_argument("--list", action="store_true",
+                    help="list registered policies and pack scenarios")
+    ar.set_defaults(func=cmd_arena)
 
     fuzz = sub.add_parser(
         "fuzz",

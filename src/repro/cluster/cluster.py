@@ -114,7 +114,9 @@ class Cluster:
 
     def running_pods_of_app(self, app: str) -> list[Pod]:
         return [
-            p for p in self.pods.values() if p.app == app and p.phase == PodPhase.RUNNING
+            p
+            for p in self.pods.values()
+            if p.app == app and p.phase == PodPhase.RUNNING
         ]
 
     def pods_of_gang(self, gang_id: str) -> list[Pod]:

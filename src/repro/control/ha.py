@@ -122,7 +122,11 @@ class ReplicatedControlPlane:
         self.rng = rng
         self.fault_log = fault_log
         self.replicas: list[_Replica] = [
-            _Replica(policy, f"{lease_name}-{i}", api.for_controller(f"{lease_name}-{i}"))
+            _Replica(
+                policy,
+                f"{lease_name}-{i}",
+                api.for_controller(f"{lease_name}-{i}"),
+            )
             for i, policy in enumerate(replicas)
         ]
         interval = self.replicas[0].manager.interval

@@ -37,9 +37,11 @@ from repro.cluster.chaos import (
     ZoneOutageDomain,
 )
 from repro.cluster.quota import QuotaManager
-from repro.autoscaler.hpa import HorizontalPodAutoscaler
-from repro.autoscaler.static import StaticPolicy
-from repro.autoscaler.vpa import VerticalPodAutoscaler
+from repro.autoscaler.registry import (
+    PolicyContext,
+    build_policy,
+    registered_policies,
+)
 from repro.cluster.api import ClusterAPI
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.pod import WorkloadClass
@@ -66,8 +68,10 @@ from repro.workloads.microservice import DemandPhase, Microservice, ServiceDeman
 from repro.workloads.plo import DeadlinePLO, LatencyPLO, ThroughputPLO, ViolationTracker
 from repro.workloads.traces import LoadTrace
 
-#: Autoscaling policies selectable by name.
-POLICIES = ("static", "hpa", "vpa", "adaptive")
+#: Autoscaling policies selectable by name (snapshot of the registry at
+#: import time; the platform itself consults the live registry, so
+#: policies registered later are selectable even if absent here).
+POLICIES = registered_policies()
 
 #: Schedulers selectable by name.
 SCHEDULERS = ("kube", "converged", "siloed")
@@ -445,26 +449,24 @@ class EvolvePlatform:
         }
 
     def _build_policy(self, name: str, kwargs: dict):
-        if name == "static":
-            return StaticPolicy(self.engine, self.collector, **kwargs)
-        if name == "hpa":
-            return HorizontalPodAutoscaler(self.engine, self.collector, **kwargs)
-        if name == "vpa":
-            return VerticalPodAutoscaler(
-                self.engine, self.collector, bounds=self.bounds, **kwargs
-            )
-        if name == "adaptive":
-            kwargs.setdefault("rng", self.rng.stream("control/jitter"))
-            kwargs.setdefault("fault_log", self.fault_log)
-            kwargs.setdefault("overload", self.config.overload)
-            return AdaptiveAutoscaler(
-                self.engine,
-                self.collector,
-                bounds=self.bounds,
-                interval=self.config.control_interval,
-                **kwargs,
-            )
-        raise ValueError(f"unknown policy {name!r}; choose from {POLICIES}")
+        """Build a registered policy against this platform's context.
+
+        Unknown names raise
+        :class:`~repro.autoscaler.registry.UnknownPolicyError` listing
+        every registered policy, so misconfiguration is caught here —
+        at construction — rather than surfacing as an attribute error
+        deep in the control loop.
+        """
+        ctx = PolicyContext(
+            engine=self.engine,
+            collector=self.collector,
+            bounds=self.bounds,
+            control_interval=self.config.control_interval,
+            rng_stream=self.rng.stream,
+            fault_log=self.fault_log,
+            overload=self.config.overload,
+        )
+        return build_policy(name, ctx, **kwargs)
 
     # -- deployment verbs ----------------------------------------------------------
 
@@ -610,9 +612,10 @@ class EvolvePlatform:
             app.plo = plo
             self.monitor.track(app)
         if managed:
-            if plo is None and self.policy_name == "adaptive":
+            if plo is None and getattr(self.policy, "requires_plo", False):
                 raise ValueError(
-                    f"application {app.name!r}: the adaptive policy needs a PLO"
+                    f"application {app.name!r}: the {self.policy_name} "
+                    "policy needs a PLO"
                 )
             # Every control-plane replica needs its own controller for the
             # app: standbys must be ready to decide the moment they win
@@ -650,7 +653,7 @@ class EvolvePlatform:
         self._run_until = self.engine.now + duration
         self.engine.run_until(self._run_until)
 
-    # -- results -------------------------------------------------------------------------
+    # -- results --------------------------------------------------------------
 
     def result(self) -> ExperimentResult:
         """Summarize the run so far."""

@@ -64,7 +64,11 @@ class EventHandle:
         return not self.cancelled and not self.executed
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "cancelled" if self.cancelled else ("done" if self.executed else "pending")
+        state = (
+            "cancelled"
+            if self.cancelled
+            else ("done" if self.executed else "pending")
+        )
         return f"EventHandle(t={self.time:.6g}, prio={self.priority}, {state})"
 
 
@@ -250,7 +254,9 @@ class Engine:
         stops future firings.
         """
         if interval <= 0:
-            raise SimulationError(f"periodic interval must be positive, got {interval!r}")
+            raise SimulationError(
+                f"periodic interval must be positive, got {interval!r}"
+            )
         periodic = PeriodicHandle(self, interval)
         first = self._now + interval if start is None else start
         # Rescheduling is inlined (no schedule_at frame or validity check

@@ -229,7 +229,9 @@ class ObjectStore:
                     found.append(obj)
         return found
 
-    def lost_objects(self, bucket: str | None = None, *, live=_UNSET) -> list[StorageObject]:
+    def lost_objects(
+        self, bucket: str | None = None, *, live=_UNSET
+    ) -> list[StorageObject]:
         """Objects with zero live replicas (data unrecoverable by repair)."""
         live = self._resolve_live(live)
         buckets = [bucket] if bucket is not None else self.buckets()

@@ -310,15 +310,27 @@ def generate_scenario(run_seed: int, index: int) -> ScenarioSpec:
 
 
 def build_platform(
-    spec: ScenarioSpec, *, telemetry: bool = False
+    spec: ScenarioSpec,
+    *,
+    telemetry: bool = False,
+    policy: str = "adaptive",
+    policy_kwargs: dict | None = None,
+    slos: tuple = (),
 ) -> EvolvePlatform:
-    """Materialize a spec: platform + workloads + explicit chaos schedule."""
+    """Materialize a spec: platform + workloads + explicit chaos schedule.
+
+    ``policy`` / ``policy_kwargs`` / ``slos`` exist for the arena
+    harness, which replays pack scenarios under every registered policy
+    with SLO tracking armed; the defaults reproduce the fuzzer's
+    canonical adaptive build bit-for-bit.
+    """
     platform = EvolvePlatform(
         cluster_spec=ClusterSpec(node_count=spec.nodes, zones=spec.zones),
         config=PlatformConfig(
             seed=spec.seed,
             controller_replicas=spec.controller_replicas,
             telemetry=telemetry,
+            slos=tuple(slos),
             overload=OverloadConfig(
                 admission=spec.overload,
                 backpressure=spec.overload,
@@ -327,7 +339,8 @@ def build_platform(
             data_plane=DataPlaneConfig(enabled=spec.ft),
         ),
         scheduler=spec.scheduler,
-        policy="adaptive",
+        policy=policy,
+        policy_kwargs=policy_kwargs,
     )
     for workload in spec.workloads:
         _deploy(platform, workload)

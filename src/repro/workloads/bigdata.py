@@ -685,7 +685,9 @@ class BigDataJob(Application):
                 return t, False
         return None
 
-    def _claim_task(self, rt: _StageTasks, pod_name: str, now: float) -> tuple[_Task, bool] | None:
+    def _claim_task(
+        self, rt: _StageTasks, pod_name: str, now: float
+    ) -> tuple[_Task, bool] | None:
         for t in rt.tasks:
             if not t.done and t.runner is None and t.dispatch_after <= now:
                 t.runner = pod_name
@@ -720,7 +722,9 @@ class BigDataJob(Application):
                 return t, False
         return None
 
-    def _advance_pod_ft(self, pod: Pod, rt: _StageTasks, dt: float, now: float) -> float:
+    def _advance_pod_ft(
+        self, pod: Pod, rt: _StageTasks, dt: float, now: float
+    ) -> float:
         """Run one executor inside one stage for ``dt``; returns retired work.
 
         The executor drains its claimed task and, with leftover tick
@@ -767,7 +771,11 @@ class BigDataJob(Application):
             time_to_finish = (work_left / t.work) / frac_rate
             step = min(budget, time_to_finish)
             dw = min(frac_rate * t.work * step, work_left)
-            di = min(frac_rate * t.input_mb * step, input_left) if input_left > 0 else 0.0
+            di = (
+                min(frac_rate * t.input_mb * step, input_left)
+                if input_left > 0
+                else 0.0
+            )
             if primary:
                 t.work_left = max(0.0, t.work_left - dw)
                 t.input_left = max(0.0, t.input_left - di)
@@ -775,7 +783,10 @@ class BigDataJob(Application):
             else:
                 t.spec_work_left = max(0.0, t.spec_work_left - dw)
                 t.spec_input_left = max(0.0, t.spec_input_left - di)
-                finished = t.spec_work_left <= _TASK_EPS and t.spec_input_left <= _TASK_EPS
+                finished = (
+                    t.spec_work_left <= _TASK_EPS
+                    and t.spec_input_left <= _TASK_EPS
+                )
             retired += dw
             io_mb += di
             budget -= max(step, _TASK_EPS)

@@ -259,7 +259,9 @@ class Microservice(Application):
             # Nothing serving: queue at the front door, report timeout-level
             # latency whenever there is load.
             self.current_throughput = 0.0
-            self.current_latency = self.max_latency if offered > 0 else demands.base_latency
+            self.current_latency = (
+                self.max_latency if offered > 0 else demands.base_latency
+            )
             self.current_backlog = 0.0
             return
 

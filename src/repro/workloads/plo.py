@@ -61,7 +61,9 @@ class LatencyPLO:
 
     kind = "latency"
 
-    def __init__(self, target: float, *, percentile: float = 99.0, window: float = 30.0):
+    def __init__(
+        self, target: float, *, percentile: float = 99.0, window: float = 30.0
+    ):
         if target <= 0:
             raise ValueError("latency target must be positive")
         self.target = float(target)

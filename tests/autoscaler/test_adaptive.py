@@ -42,7 +42,9 @@ class FakeApp:
     def __init__(self, replicas=1, allocation=None):
         self.name = "fake"
         self.replica_count = replicas
-        self._allocation = allocation or ResourceVector(cpu=1, memory=1, disk_bw=20, net_bw=20)
+        self._allocation = allocation or ResourceVector(
+            cpu=1, memory=1, disk_bw=20, net_bw=20
+        )
 
     def current_allocation(self):
         return self._allocation

@@ -18,7 +18,9 @@ def test_list_pods_selectors(api):
     )
     assert {p.name for p in api.list_pods()} == {"m0", "b0"}
     assert [p.name for p in api.list_pods(app="svc")] == ["m0"]
-    assert [p.name for p in api.list_pods(workload_class=WorkloadClass.BIGDATA)] == ["b0"]
+    assert [
+        p.name for p in api.list_pods(workload_class=WorkloadClass.BIGDATA)
+    ] == ["b0"]
     assert [p.name for p in api.list_pods(phase=PodPhase.PENDING)] != []
 
 

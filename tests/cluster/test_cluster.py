@@ -19,7 +19,10 @@ from tests.conftest import make_spec
 
 def test_duplicate_node_names_rejected(engine):
     with pytest.raises(ClusterError):
-        Cluster(engine, [Node("n", ResourceVector(cpu=1)), Node("n", ResourceVector(cpu=1))])
+        Cluster(
+            engine,
+            [Node("n", ResourceVector(cpu=1)), Node("n", ResourceVector(cpu=1))],
+        )
 
 
 def test_submit_enqueues_and_publishes(engine, cluster):
@@ -82,7 +85,8 @@ def test_unknown_lookups_raise_typed_errors(engine, cluster):
         with pytest.raises((ClusterError, KeyError)) as info:
             trigger()
         assert isinstance(info.value, exc_type)
-        assert str(info.value) == f"unknown {'pod' if exc_type is PodNotFound else 'node'} 'x'"
+        kind = "pod" if exc_type is PodNotFound else "node"
+        assert str(info.value) == f"unknown {kind} 'x'"
 
 
 def test_finish_releases_resources(engine, cluster):

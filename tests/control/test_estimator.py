@@ -57,7 +57,9 @@ class TestGrowWeights:
 
     def test_weights_bounded(self):
         est = BottleneckEstimator()
-        weights = est.grow_weights(snapshot(cpu=1.0, memory=1.0, disk_bw=1.0, net_bw=1.0))
+        weights = est.grow_weights(
+            snapshot(cpu=1.0, memory=1.0, disk_bw=1.0, net_bw=1.0)
+        )
         assert all(0 <= w <= 1 for w in weights.values())
 
 

@@ -90,7 +90,9 @@ class TestControllerIntegration:
     def test_negative_feedforward_rejected(self):
         from repro.control.estimator import SaturationSnapshot
         ctrl = MultiResourceController(PIDGains(kp=1.0), BOUNDS)
-        snap = SaturationSnapshot({r: 0.5 for r in ("cpu", "memory", "disk_bw", "net_bw")})
+        snap = SaturationSnapshot(
+            {r: 0.5 for r in ("cpu", "memory", "disk_bw", "net_bw")}
+        )
         with pytest.raises(ValueError):
             ctrl.decide(0.0, snap, BOUNDS.minimum, dt=1.0, feedforward=-0.1)
 

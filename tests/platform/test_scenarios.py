@@ -1,0 +1,89 @@
+"""Scenario-pack tests: every entry loads, validates, and replays."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    PACK_VERSION,
+    UnknownScenarioError,
+    load_pack,
+    load_scenario,
+    scenario_names,
+)
+from repro.verify.fuzzer import (
+    FORMAT_VERSION,
+    MIN_HORIZON,
+    WORKLOAD_KINDS,
+    build_platform,
+    run_episode,
+)
+
+KNOWN_DOMAINS = (
+    "crash",
+    "degrade",
+    "controller-crash",
+    "partition",
+    "zone-outage",
+    "overload-surge",
+    "executor-kill",
+    "straggler",
+    "data-loss",
+)
+
+EXPECTED = (
+    "calm",
+    "data-fault",
+    "diurnal",
+    "flash-crowd",
+    "overload-surge",
+    "zone-outage",
+)
+
+
+def test_pack_contains_the_curated_scenarios():
+    assert scenario_names() == EXPECTED
+    assert len(scenario_names()) >= 6
+
+
+def test_unknown_scenario_lists_pack():
+    with pytest.raises(UnknownScenarioError) as info:
+        load_scenario("mystery")
+    for name in EXPECTED:
+        assert repr(name) in str(info.value)
+
+
+@pytest.mark.parametrize("name", EXPECTED)
+def test_entry_is_a_valid_replayable_spec(name):
+    entry = load_scenario(name)
+    assert entry.name == name
+    assert entry.description
+    spec = entry.spec
+    assert spec.horizon >= MIN_HORIZON
+    assert spec.nodes >= 3
+    assert spec.controller_replicas == 1  # policy-portable across the arena
+    for workload in spec.workloads:
+        assert workload.kind in WORKLOAD_KINDS
+    for event in spec.chaos:
+        assert event.domain in KNOWN_DOMAINS
+        assert 0 <= event.at < spec.horizon
+    # Round-trips through the repro-file format unchanged.
+    assert type(spec).from_json(spec.to_json()) == spec
+    # Pack metadata is carried alongside, versioned.
+    data = json.loads(entry.path.read_text())
+    assert data["pack_version"] == PACK_VERSION
+    assert data["format"] == FORMAT_VERSION
+
+
+@pytest.mark.parametrize("name", EXPECTED)
+def test_entry_builds_a_platform(name):
+    spec = load_scenario(name).spec
+    platform = build_platform(spec)
+    assert len(platform.apps) == len(spec.workloads)
+
+
+def test_calm_replays_clean_under_invariants():
+    spec = load_scenario("calm").spec
+    result = run_episode(spec, every=5)
+    assert result.ok, result.violations
+    assert result.events_executed > 0

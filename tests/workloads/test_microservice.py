@@ -39,17 +39,23 @@ def deploy(engine, api, *, trace, demands=DEMANDS, allocation=AMPLE, replicas=1,
 
 class TestDemands:
     def test_capacity_cpu_bound(self):
-        rate, bottleneck = DEMANDS.capacity(ResourceVector(cpu=1, memory=1, disk_bw=1e6, net_bw=1e6))
+        rate, bottleneck = DEMANDS.capacity(
+            ResourceVector(cpu=1, memory=1, disk_bw=1e6, net_bw=1e6)
+        )
         assert rate == pytest.approx(100.0)
         assert bottleneck == "cpu"
 
     def test_capacity_disk_bound(self):
-        rate, bottleneck = DEMANDS.capacity(ResourceVector(cpu=100, memory=1, disk_bw=1, net_bw=1e6))
+        rate, bottleneck = DEMANDS.capacity(
+            ResourceVector(cpu=100, memory=1, disk_bw=1, net_bw=1e6)
+        )
         assert rate == pytest.approx(10.0)
         assert bottleneck == "disk_bw"
 
     def test_capacity_net_bound(self):
-        rate, bottleneck = DEMANDS.capacity(ResourceVector(cpu=100, memory=1, disk_bw=1e6, net_bw=1))
+        rate, bottleneck = DEMANDS.capacity(
+            ResourceVector(cpu=100, memory=1, disk_bw=1e6, net_bw=1)
+        )
         assert rate == pytest.approx(20.0)
         assert bottleneck == "net_bw"
 
@@ -95,7 +101,8 @@ class TestSteadyState:
 
 class TestBottlenecks:
     def test_io_bound_service_reports_disk(self, engine, api):
-        alloc = ResourceVector(cpu=4, memory=4, disk_bw=5, net_bw=200)  # 50 rps via disk
+        # 50 rps via disk
+        alloc = ResourceVector(cpu=4, memory=4, disk_bw=5, net_bw=200)
         svc = deploy(engine, api, trace=ConstantTrace(100), allocation=alloc)
         engine.run_until(30.0)
         assert svc.current_bottleneck == "disk_bw"
@@ -115,7 +122,9 @@ class TestBottlenecks:
 class TestReplicasAndPhases:
     def test_load_splits_across_replicas(self, engine, api):
         tight = ResourceVector(cpu=0.6, memory=1, disk_bw=100, net_bw=100)
-        svc = deploy(engine, api, trace=ConstantTrace(100), allocation=tight, replicas=2)
+        svc = deploy(
+            engine, api, trace=ConstantTrace(100), allocation=tight, replicas=2
+        )
         engine.run_until(60.0)
         # 50 rps per replica under a 60 rps cap: fine.
         assert svc.current_throughput == pytest.approx(100, rel=0.1)

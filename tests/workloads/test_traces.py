@@ -127,7 +127,9 @@ class TestNoisy:
         assert np.mean(values) == pytest.approx(100, rel=0.05)
 
     def test_beyond_horizon_falls_back_to_base(self):
-        trace = NoisyTrace(ConstantTrace(100), horizon=100, rng=np.random.default_rng(0))
+        trace = NoisyTrace(
+            ConstantTrace(100), horizon=100, rng=np.random.default_rng(0)
+        )
         assert trace.rate(1e9) == 100
 
     @given(times)
