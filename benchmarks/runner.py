@@ -472,6 +472,36 @@ def _run_t13(mode: str) -> dict:
     }
 
 
+def _run_t14(mode: str) -> dict:
+    # Imported lazily like t13: pulls the arrival library and a full
+    # platform build the other adapters never need.
+    from benchmarks import bench_t14_trace_realism as bench_t14
+
+    case = bench_t14.run_case(mode=mode)
+    bench_t14.check_case(case)
+    cells = case["cells"]
+    metrics = {
+        "poisson/rate_rel_error": cells["poisson"]["rate_rel_error"],
+        "poisson/flat_cv": cells["poisson"]["flat_cv"],
+        "mmpp/cv": cells["mmpp"]["cv"],
+        "mmpp/states_visited": cells["mmpp"]["states_visited"],
+        "pareto/alpha_hill": cells["pareto"]["alpha_hill"],
+        "pareto/mean_rel_error": cells["pareto"]["mean_rel_error"],
+        "replay/count_error": cells["replay"]["count_error"],
+        "replay/fingerprint": cells["replay"]["fingerprint"],
+        "surge/active_frac": cells["surge"]["active_frac"],
+        "platform/offered_rel_error": (
+            cells["platform"]["offered_rel_error"]),
+        "platform/mean_size_factor": (
+            cells["platform"]["mean_size_factor"]),
+    }
+    # Only the end-to-end platform cell runs the engine; the statistical
+    # cells draw from standalone streams.
+    return {"seed": bench_t14.SEED,
+            "events_executed": cells["platform"]["events"],
+            "metrics": metrics}
+
+
 def _run_f1(mode: str) -> dict:
     policies = ("adaptive",) if mode == "smoke" else (
         "static", "hpa", "vpa", "adaptive")
@@ -935,7 +965,11 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         # BENCH_arena.json — the leaderboard file CI renders and uploads.
         "arena", "benchmarks.bench_t13_arena",
         "R-T13: autoscaler arena (policy x scenario scorecards)", _run_t13,
-        budgets={"events_executed": 70_000}),
+        budgets={"events_executed": 110_000}),
+    Experiment(
+        "trace_realism", "benchmarks.bench_t14_trace_realism",
+        "R-T14: trace realism of the open-loop arrival library", _run_t14,
+        budgets={"events_executed": 6_000}),
     Experiment(
         "f1", "benchmarks.bench_f1_latency_timeline",
         "R-F1: latency timeline per policy", _run_f1,

@@ -529,6 +529,50 @@ class EvolvePlatform:
         self._register(job, plo, managed, start_delay=delay)
         return job
 
+    def submit_recurring_pipeline(
+        self,
+        name: str,
+        *,
+        stages_factory,
+        allocation: ResourceVector,
+        period: float,
+        runs: int,
+        executors: int = 2,
+        deadline: float | None = None,
+        start: float = 0.0,
+        managed: bool = False,
+        **kwargs,
+    ) -> "RecurringPipeline":
+        """Submit a recurring DAG pipeline: one job every ``period`` s.
+
+        ``stages_factory(run_index)`` builds each run's stage list; a
+        ``deadline`` (seconds, relative to each run's start) attaches a
+        DeadlinePLO per run. Run *i* starts at ``start + i · period``.
+        """
+        from repro.workloads.bigdata import RecurringPipeline
+
+        def submit(run_name: str, stages: Sequence[Stage], index: int) -> BigDataJob:
+            delay = start + index * period
+            return self.submit_bigdata(
+                run_name,
+                stages=stages,
+                allocation=allocation,
+                executors=executors,
+                deadline=None if deadline is None else delay + deadline,
+                delay=delay,
+                managed=managed,
+                **kwargs,
+            )
+
+        return RecurringPipeline(
+            submit,
+            name=name,
+            stages_factory=stages_factory,
+            period=period,
+            runs=runs,
+            start=start,
+        )
+
     def deploy_stream(
         self,
         name: str,

@@ -2,7 +2,7 @@
 
 Each ``*.json`` file in this package is a named, replayable scenario in
 the fuzzer's :class:`~repro.verify.fuzzer.ScenarioSpec` repro format
-(``format`` 3), plus pack metadata keys (``name``, ``description``,
+(``format`` 3 or 4), plus pack metadata keys (``name``, ``description``,
 ``tags``, ``pack_version``) which the spec loader ignores. One file,
 three consumers:
 
@@ -20,7 +20,12 @@ Scenario themes cover the load taxonomy: ``calm`` (steady baseline),
 ``diurnal`` (cyclic load + batch/HPC mix), ``flash-crowd`` (a 4x
 surge on one service), ``overload-surge`` (correlated surges with the
 overload stack armed), ``zone-outage`` (correlated zone failure),
-``data-fault`` (data-plane faults with FT armed).
+``data-fault`` (data-plane faults with FT armed). Pack v2 appends the
+trace-realism entries (ScenarioSpec v4): ``diurnal-replay`` (a recorded
+rate curve replayed sample-by-sample, driving open-loop Poisson
+arrivals), ``heavy-tail`` (MMPP arrivals with Pareto request-size
+marks), and ``correlated-surge`` (the CorrelatedSurge coordinator
+hitting every service on one shared schedule).
 """
 
 from __future__ import annotations
@@ -32,7 +37,9 @@ from pathlib import Path
 from repro.verify.fuzzer import ScenarioSpec
 
 #: Bump when any existing entry's spec changes (see the pack contract).
-PACK_VERSION = 1
+#: v2 appended diurnal-replay / heavy-tail / correlated-surge; every v1
+#: entry is byte-identical to pack v1.
+PACK_VERSION = 2
 
 _PACK_DIR = Path(__file__).resolve().parent
 

@@ -42,22 +42,43 @@ from repro.platform.evolve import EvolvePlatform
 from repro.sim.rng import RngRegistry
 from repro.storage.placement import spread_blocks
 from repro.verify.invariants import Invariant, InvariantChecker, Violation
+from repro.workloads.arrivals import (
+    CorrelatedSurge,
+    MarkedArrivals,
+    MMPPArrivals,
+    ParetoSizes,
+    PoissonArrivals,
+)
 from repro.workloads.bigdata import Stage
 from repro.workloads.microservice import Microservice, ServiceDemands
 from repro.workloads.plo import LatencyPLO
 from repro.workloads.stream import Operator
-from repro.workloads.traces import ConstantTrace, DiurnalTrace, ScaledTrace
+from repro.workloads.traces import (
+    ConstantTrace,
+    DiurnalTrace,
+    ReplayTrace,
+    ScaledTrace,
+)
 
 #: Bump when the repro JSON layout changes incompatibly. Version 2 adds
 #: ``zones`` / ``overload`` spec fields and the ``zone-outage`` /
 #: ``overload-surge`` chaos domains; version 3 adds the ``ft`` spec
 #: field (arming data-plane fault tolerance) and the ``executor-kill``
-#: / ``straggler`` / ``data-loss`` chaos domains. Older files still
-#: load (the new fields default to the old behaviour), and v3 draws its
-#: new scenario knobs strictly *after* every v2 draw, so ft-less
-#: episodes are bit-identical to the v2 fuzzer's.
-FORMAT_VERSION = 3
-SUPPORTED_FORMATS = (1, 2, 3)
+#: / ``straggler`` / ``data-loss`` chaos domains; version 4 adds the
+#: trace-model fields ``arrival_model`` (open-loop Poisson/MMPP
+#: arrivals), ``heavy_tail`` (Pareto request-size marks), and ``surge``
+#: (the correlated multi-app surge coordinator), plus an optional
+#: ``samples`` micro param replaying a recorded rate curve. Older files
+#: still load (the new fields default to the old behaviour), and each
+#: version draws its new scenario knobs strictly *after* every
+#: prior-version draw, so e.g. trace-model-less episodes are
+#: bit-identical to the v3 fuzzer's.
+FORMAT_VERSION = 4
+SUPPORTED_FORMATS = (1, 2, 3, 4)
+
+#: v4 open-loop arrival models; ``"rate"`` is the v3-and-earlier
+#: rate-curve sampling.
+ARRIVAL_MODELS = ("rate", "poisson", "mmpp")
 
 WORKLOAD_KINDS = ("micro", "stream", "bigdata", "hpc")
 NODE_DOMAINS = ("crash", "degrade")
@@ -144,6 +165,22 @@ class ScenarioSpec:
     #: Arm data-plane fault tolerance (task-granular big-data engine,
     #: stream checkpoints, storage repair) for this episode (v3).
     ft: bool = False
+    #: Open-loop arrival model for microservices (v4): ``"rate"`` (the
+    #: v3 rate-curve sampling), ``"poisson"`` (NHPP), or ``"mmpp"``.
+    arrival_model: str = "rate"
+    #: Pareto request-size marks on microservice arrivals (v4; only
+    #: meaningful with an open-loop ``arrival_model``).
+    heavy_tail: bool = False
+    #: Couple microservice load through the CorrelatedSurge coordinator
+    #: (v4): one shared surge schedule hits every service at once.
+    surge: bool = False
+
+    def __post_init__(self) -> None:
+        if self.arrival_model not in ARRIVAL_MODELS:
+            raise ValueError(
+                f"arrival_model must be one of {ARRIVAL_MODELS}, "
+                f"got {self.arrival_model!r}"
+            )
 
     def to_dict(self) -> dict:
         return {
@@ -158,6 +195,9 @@ class ScenarioSpec:
             "zones": self.zones,
             "overload": self.overload,
             "ft": self.ft,
+            "arrival_model": self.arrival_model,
+            "heavy_tail": self.heavy_tail,
+            "surge": self.surge,
         }
 
     @classmethod
@@ -183,6 +223,9 @@ class ScenarioSpec:
             zones=int(data.get("zones", 1)),
             overload=bool(data.get("overload", False)),
             ft=bool(data.get("ft", False)),
+            arrival_model=str(data.get("arrival_model", "rate")),
+            heavy_tail=bool(data.get("heavy_tail", False)),
+            surge=bool(data.get("surge", False)),
         )
 
     def to_json(self) -> str:
@@ -293,6 +336,14 @@ def generate_scenario(run_seed: int, index: int) -> ScenarioSpec:
             )
             for _ in range(int(rng.integers(1, 4)))
         )
+    # v4 draws: trace-model knobs, strictly after every v3 draw, so
+    # scenarios with the new models disabled are bit-identical to v3's.
+    arrival_model = "rate"
+    heavy_tail = False
+    if float(rng.random()) < 0.35:
+        arrival_model = ("poisson", "mmpp")[int(rng.integers(2))]
+        heavy_tail = bool(float(rng.random()) < 0.4)
+    surge = bool(float(rng.random()) < 0.25)
     return ScenarioSpec(
         seed=seed,
         horizon=horizon,
@@ -303,6 +354,9 @@ def generate_scenario(run_seed: int, index: int) -> ScenarioSpec:
         zones=zones,
         overload=overload,
         ft=ft,
+        arrival_model=arrival_model,
+        heavy_tail=heavy_tail,
+        surge=surge,
     )
 
 
@@ -342,29 +396,115 @@ def build_platform(
         policy=policy,
         policy_kwargs=policy_kwargs,
     )
+    surge = None
+    if spec.surge:
+        # One shared schedule from a dedicated stream; per-app lags draw
+        # in deployment order, which spec.workloads fixes.
+        surge = CorrelatedSurge(
+            platform.rng.stream("workload/surge"),
+            horizon=spec.horizon,
+            mean_interval=max(120.0, spec.horizon / 3.0),
+            duration=60.0,
+            factor=4.0,
+            max_lag=15.0,
+        )
     for workload in spec.workloads:
-        _deploy(platform, workload)
+        _deploy(
+            platform,
+            workload,
+            arrival_model=spec.arrival_model,
+            heavy_tail=spec.heavy_tail,
+            surge=surge,
+            horizon=spec.horizon,
+        )
     for event in spec.chaos:
         _schedule_chaos(platform, event)
     return platform
 
 
-def _deploy(platform: EvolvePlatform, workload: WorkloadSpec) -> None:
+def _micro_arrivals(
+    platform: EvolvePlatform,
+    name: str,
+    trace,
+    *,
+    arrival_model: str,
+    heavy_tail: bool,
+    horizon: float,
+):
+    """Build the open-loop arrival process for one microservice (v4).
+
+    Streams are per-app (``workload/<name>/arrivals`` / ``…/sizes``) so
+    adding a service never shifts a neighbour's draw sequence.
+    """
+    if arrival_model == "rate":
+        return None
+    rng = platform.rng.stream(f"workload/{name}/arrivals")
+    if arrival_model == "poisson":
+        process = PoissonArrivals(trace, rng)
+    elif arrival_model == "mmpp":
+        process = MMPPArrivals(
+            trace, rng, factors=(0.3, 1.0, 3.0), horizon=horizon
+        )
+    else:
+        raise ValueError(f"unknown arrival model {arrival_model!r}")
+    if heavy_tail:
+        process = MarkedArrivals(
+            process,
+            ParetoSizes(alpha=1.6),
+            platform.rng.stream(f"workload/{name}/sizes"),
+        )
+    return process
+
+
+def _deploy(
+    platform: EvolvePlatform,
+    workload: WorkloadSpec,
+    *,
+    arrival_model: str = "rate",
+    heavy_tail: bool = False,
+    surge: "CorrelatedSurge | None" = None,
+    horizon: float = 86_400.0,
+) -> None:
     p = workload.params
     if workload.kind == "micro":
+        if "samples" in p:
+            # Replayed rate curve (pack v2's diurnal-replay entries).
+            trace = ReplayTrace(
+                [(float(t), float(r)) for t, r in p["samples"]],
+                time_scale=float(p.get("time_scale", 1.0)),
+                rate_scale=float(p.get("rate_scale", 1.0)),
+            )
+        else:
+            trace = DiurnalTrace(
+                base=p["base"], amplitude=p["amplitude"], period=p["period"]
+            )
+        if surge is not None:
+            trace = surge.attach(trace, name=workload.name)
         platform.deploy_microservice(
             workload.name,
-            trace=DiurnalTrace(
-                base=p["base"], amplitude=p["amplitude"], period=p["period"]
-            ),
+            trace=trace,
+            # Optional per-request disk/net demands (v4): services whose
+            # bottleneck is I/O, not CPU — absent in older specs, so the
+            # defaults reproduce the v3 deployment byte-for-byte.
             demands=ServiceDemands(
-                cpu_seconds=p["cpu_seconds"], base_latency=0.005
+                cpu_seconds=p["cpu_seconds"],
+                disk_mb=float(p.get("disk_mb", 0.0)),
+                net_mb=float(p.get("net_mb", 0.0)),
+                base_latency=0.005,
             ),
             allocation=ResourceVector(
                 cpu=p["cpu"], memory=p["memory"], disk_bw=10, net_bw=30
             ),
             plo=LatencyPLO(p["plo"], window=30),
             replicas=p["replicas"],
+            arrivals=_micro_arrivals(
+                platform,
+                workload.name,
+                trace,
+                arrival_model=arrival_model,
+                heavy_tail=heavy_tail,
+                horizon=horizon,
+            ),
         )
     elif workload.kind == "stream":
         platform.deploy_stream(
@@ -722,7 +862,8 @@ def shrink(
     Reduction moves, tried to a fixpoint: drop one workload, drop one
     chaos event, drop the replicated control plane, flatten the zones,
     disable the overload stack, disable data-plane fault tolerance,
-    halve the horizon.
+    disable the v4 trace models (surge, heavy-tail marks, open-loop
+    arrivals — in that order, most-composite first), halve the horizon.
     A candidate is kept only if ``still_fails`` — so the result is
     1-minimal with respect to these moves (dropping any single remaining
     element makes the failure disappear), within an evaluation budget.
@@ -785,6 +926,24 @@ def shrink(
             # inert without the fault-tolerant models), so this move
             # never needs to also prune the chaos list.
             candidate = replace(current, ft=False)
+            if attempt(candidate):
+                current = candidate
+                improved = True
+                continue
+        if current.surge:
+            candidate = replace(current, surge=False)
+            if attempt(candidate):
+                current = candidate
+                improved = True
+                continue
+        if current.heavy_tail:
+            candidate = replace(current, heavy_tail=False)
+            if attempt(candidate):
+                current = candidate
+                improved = True
+                continue
+        if current.arrival_model != "rate":
+            candidate = replace(current, arrival_model="rate")
             if attempt(candidate):
                 current = candidate
                 improved = True

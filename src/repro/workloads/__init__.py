@@ -2,17 +2,39 @@
 
 * :mod:`repro.workloads.microservice` — latency-sensitive cloud services
   (queueing model with multi-resource service demands).
-* :mod:`repro.workloads.bigdata` — elastic DAG-structured analytics jobs.
+* :mod:`repro.workloads.bigdata` — elastic DAG-structured analytics jobs,
+  plus BatchBench-style batch-mix builders and recurring pipelines.
 * :mod:`repro.workloads.hpc` — rigid gang-scheduled tightly-coupled jobs.
 
 Plus the pieces they share: load-trace generators
-(:mod:`repro.workloads.traces`), performance-level objectives
-(:mod:`repro.workloads.plo`), and the replica-managing application driver
-base (:mod:`repro.workloads.base`).
+(:mod:`repro.workloads.traces`), open-loop arrival processes and
+modulators (:mod:`repro.workloads.arrivals`), versioned trace files and
+the event replayer (:mod:`repro.workloads.traceio`), performance-level
+objectives (:mod:`repro.workloads.plo`), and the replica-managing
+application driver base (:mod:`repro.workloads.base`).
 """
 
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    CorrelatedSurge,
+    DiurnalModulator,
+    LognormalSizes,
+    MarkedArrivals,
+    MMPPArrivals,
+    ParetoSizes,
+    PoissonArrivals,
+    SizeDistribution,
+    SpikeModulator,
+    trace_integral,
+)
 from repro.workloads.base import Application
-from repro.workloads.bigdata import BigDataJob, Stage
+from repro.workloads.bigdata import (
+    BigDataJob,
+    RecurringPipeline,
+    Stage,
+    fork_join_stages,
+    skewed_fanout_stages,
+)
 from repro.workloads.hpc import HPCJob
 from repro.workloads.stream import Operator, StreamJob
 from repro.workloads.microservice import DemandPhase, Microservice, ServiceDemands
@@ -22,6 +44,13 @@ from repro.workloads.plo import (
     PLOStatus,
     ThroughputPLO,
     ViolationTracker,
+)
+from repro.workloads.traceio import (
+    LoadedTrace,
+    TraceReplayer,
+    TraceSchemaError,
+    event_fingerprint,
+    load_trace,
 )
 from repro.workloads.traces import (
     BurstyTrace,
@@ -45,6 +74,9 @@ __all__ = [
     "DemandPhase",
     "BigDataJob",
     "Stage",
+    "RecurringPipeline",
+    "fork_join_stages",
+    "skewed_fanout_stages",
     "HPCJob",
     "StreamJob",
     "Operator",
@@ -65,4 +97,20 @@ __all__ = [
     "ReplayTrace",
     "ScaledTrace",
     "CompositeTrace",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "SizeDistribution",
+    "ParetoSizes",
+    "LognormalSizes",
+    "MarkedArrivals",
+    "DiurnalModulator",
+    "SpikeModulator",
+    "CorrelatedSurge",
+    "trace_integral",
+    "LoadedTrace",
+    "load_trace",
+    "TraceReplayer",
+    "TraceSchemaError",
+    "event_fingerprint",
 ]

@@ -892,3 +892,153 @@ class BigDataJob(Application):
                 }
             )
         return metrics
+
+
+# -- BatchBench-style batch mixes -----------------------------------------------
+#
+# Builders for the workload-aware batch shapes BatchBench argues autoscaler
+# evaluation needs: deadline-bearing fork-join DAGs, skewed fan-outs with
+# stragglers, and recurring pipelines. They produce plain ``Stage`` lists /
+# submissions, so every engine feature above (FT, speculation, lineage)
+# applies unchanged.
+
+
+def fork_join_stages(
+    *,
+    width: int = 4,
+    source_work: float = 300.0,
+    branch_work: float = 600.0,
+    join_work: float = 200.0,
+    input_mb: float = 512.0,
+    branch_parallelism: int = 16,
+    accel_speedup: float = 1.0,
+) -> list[Stage]:
+    """A deterministic fork-join DAG: source → ``width`` branches → join.
+
+    The canonical deadline-job shape — submit with
+    ``platform.submit_bigdata(..., deadline=...)`` to get a
+    deadline-bearing DAG job whose critical path is one branch.
+    """
+    if width < 1:
+        raise ValueError("width must be ≥ 1")
+    stages = [Stage("source", source_work, input_mb=input_mb)]
+    for i in range(width):
+        stages.append(
+            Stage(
+                f"branch-{i}",
+                branch_work,
+                input_mb=input_mb / width,
+                deps=("source",),
+                max_parallelism=branch_parallelism,
+                accel_speedup=accel_speedup,
+            )
+        )
+    stages.append(
+        Stage(
+            "join",
+            join_work,
+            input_mb=input_mb / 4,
+            deps=tuple(f"branch-{i}" for i in range(width)),
+        )
+    )
+    return stages
+
+
+def skewed_fanout_stages(
+    rng,
+    *,
+    fanout: int = 8,
+    base_work: float = 400.0,
+    skew_alpha: float = 1.3,
+    straggler_factor: float = 4.0,
+    source_work: float = 200.0,
+    input_mb: float = 256.0,
+    join_work: float = 150.0,
+    branch_parallelism: int = 8,
+) -> list[Stage]:
+    """A fan-out whose branch work is Pareto-skewed, with one straggler.
+
+    Per-branch work is ``base_work · (1 + Pareto(skew_alpha))`` — a few
+    branches dominate, as skewed shuffle partitions do — and one branch
+    (chosen by ``rng``) is further multiplied by ``straggler_factor``.
+    Draws come from ``rng`` (use a named stream, e.g.
+    ``workload/<job>/mix``) so the mix is seed-deterministic.
+    """
+    if fanout < 1:
+        raise ValueError("fanout must be ≥ 1")
+    if skew_alpha <= 0 or straggler_factor < 1:
+        raise ValueError("skew_alpha must be > 0 and straggler_factor ≥ 1")
+    multipliers = 1.0 + rng.pareto(skew_alpha, size=fanout)
+    straggler = int(rng.integers(fanout))
+    stages = [Stage("source", source_work, input_mb=input_mb)]
+    for i in range(fanout):
+        work = base_work * float(multipliers[i])
+        if i == straggler:
+            work *= straggler_factor
+        stages.append(
+            Stage(
+                f"part-{i}",
+                work,
+                input_mb=input_mb / fanout,
+                deps=("source",),
+                max_parallelism=branch_parallelism,
+            )
+        )
+    stages.append(
+        Stage(
+            "merge",
+            join_work,
+            input_mb=input_mb / 4,
+            deps=tuple(f"part-{i}" for i in range(fanout)),
+        )
+    )
+    return stages
+
+
+class RecurringPipeline:
+    """Periodic re-submission of a DAG job (the nightly-ETL shape).
+
+    ``runs`` jobs are created up front, one per period:
+    ``submit(name, stages, run_index)`` is called for each and must
+    arrange the actual start at ``start + run_index · period`` (the
+    platform's deferred-start submission does exactly that — see
+    :meth:`repro.platform.evolve.EvolvePlatform.submit_recurring_pipeline`).
+    ``stages_factory(run_index)`` builds each run's DAG, so runs may
+    vary (e.g. a seeded skewed fan-out per run).
+    """
+
+    def __init__(
+        self,
+        submit,
+        *,
+        name: str,
+        stages_factory,
+        period: float,
+        runs: int,
+        start: float = 0.0,
+    ):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if runs < 1:
+            raise ValueError("runs must be ≥ 1")
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        self.name = name
+        self.period = float(period)
+        self.runs = int(runs)
+        self.start = float(start)
+        self.jobs: list[BigDataJob] = [
+            submit(f"{name}-r{i}", stages_factory(i), i) for i in range(runs)
+        ]
+
+    @property
+    def completed_runs(self) -> int:
+        return sum(1 for j in self.jobs if j.done)
+
+    @property
+    def failed_runs(self) -> int:
+        return sum(1 for j in self.jobs if j.failed)
+
+    def makespans(self) -> list[float]:
+        """Per-run submission-to-completion times for finished runs."""
+        return [s for s in (job.makespan() for job in self.jobs) if s is not None]

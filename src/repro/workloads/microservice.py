@@ -17,10 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.cluster.api import ClusterAPI
 from repro.cluster.pod import Pod, WorkloadClass
 from repro.cluster.resources import ResourceVector
 from repro.sim.engine import Engine
+from repro.workloads.arrivals import ArrivalProcess
 from repro.workloads.base import Application
 from repro.workloads.traces import LoadTrace
 
@@ -105,6 +108,18 @@ class Microservice(Application):
     trace:
         Offered load over time (req/s), split evenly across running
         replicas by an ideal load balancer.
+    arrivals:
+        Optional open-loop arrival process
+        (:class:`~repro.workloads.arrivals.ArrivalProcess`). When set,
+        offered load comes from counting its events over each tick
+        window instead of sampling ``trace.rate`` — the discrete stream
+        carries the burstiness a rate curve averages away. A
+        :class:`~repro.workloads.arrivals.MarkedArrivals` process also
+        scales per-request demand by the tick's mean size mark
+        (normalized by the distribution mean), modelling heavy-tailed
+        request sizes. ``trace`` is still required: it is what the
+        forecasters and scenario specs describe, and what arrival
+        processes are driven by.
     demands:
         Per-request demand profile, or a sequence of :class:`DemandPhase`
         for workloads whose bottleneck shifts over time.
@@ -127,6 +142,7 @@ class Microservice(Application):
         api: ClusterAPI,
         *,
         trace: LoadTrace,
+        arrivals: ArrivalProcess | None = None,
         demands: ServiceDemands | Sequence[DemandPhase],
         initial_allocation: ResourceVector,
         initial_replicas: int = 1,
@@ -151,6 +167,9 @@ class Microservice(Application):
             **kwargs,
         )
         self.trace = trace
+        self.arrivals = arrivals
+        self._marked = arrivals is not None and hasattr(arrivals, "window_marked")
+        self.current_size_factor = 1.0
         if isinstance(demands, ServiceDemands):
             self._phases = [DemandPhase(0.0, demands)]
         else:
@@ -238,6 +257,36 @@ class Microservice(Application):
         self._brownout_cache = (demands, factor, degraded)
         return degraded
 
+    # -- open-loop arrivals ---------------------------------------------------
+
+    def _offered_from_arrivals(self, dt: float, now: float) -> tuple[float, float]:
+        """Offered rate and mean-size factor for the tick window.
+
+        The tick at ``now`` covers ``[now - dt, now)``; counting events
+        there keeps the event stream and the rate estimate aligned.
+        """
+        if self._marked:
+            times, sizes = self.arrivals.window_marked(now - dt, now)
+            if len(times) == 0:
+                return 0.0, 1.0
+            mean = self.arrivals.mean_size()
+            factor = float(np.mean(sizes)) / mean if mean > 0 else 1.0
+            return len(times) / dt, max(factor, 1e-6)
+        events = self.arrivals.window(now - dt, now)
+        return len(events) / dt, 1.0
+
+    def _sized_demands(
+        self, demands: ServiceDemands, factor: float
+    ) -> ServiceDemands:
+        return ServiceDemands(
+            cpu_seconds=demands.cpu_seconds * factor,
+            disk_mb=demands.disk_mb * factor,
+            net_mb=demands.net_mb * factor,
+            mem_base=demands.mem_base,
+            mem_per_inflight=demands.mem_per_inflight,
+            base_latency=demands.base_latency,
+        )
+
     # -- dynamics -----------------------------------------------------------------
 
     def tick(self, dt: float, now: float) -> None:
@@ -245,7 +294,13 @@ class Microservice(Application):
         if self.brownout_active:
             demands = self._degraded_demands(demands)
             self.brownout_seconds += dt
-        offered = max(0.0, self.trace.rate(now))
+        if self.arrivals is not None:
+            offered, size_factor = self._offered_from_arrivals(dt, now)
+            self.current_size_factor = size_factor
+            if size_factor != 1.0:
+                demands = self._sized_demands(demands, size_factor)
+        else:
+            offered = max(0.0, self.trace.rate(now))
         running = self.running_pods()
         self.current_offered = offered
 
@@ -371,4 +426,8 @@ class Microservice(Application):
         if self.brownouts_entered:
             metrics["brownout"] = 1.0 if self.brownout_active else 0.0
             metrics["brownout_seconds"] = self.brownout_seconds
+        # Same series-set discipline: the size-factor gauge exists only
+        # when a marked arrival process is wired in.
+        if self._marked:
+            metrics["size_factor"] = self.current_size_factor
         return metrics

@@ -44,21 +44,24 @@ class StepTrace:
 
     def __init__(self, steps: Sequence[tuple[float, float]], *, initial: float = 0.0):
         times = [s[0] for s in steps]
-        if times != sorted(times):
+        if not all(math.isfinite(t) for t in times):
+            raise ValueError("step times must be finite")
+        if any(a > b for a, b in zip(times, times[1:])):
             raise ValueError("steps must be sorted by time")
-        if any(r < 0 for _t, r in steps) or initial < 0:
+        if any(not math.isfinite(r) or r < 0 for _t, r in steps) or initial < 0:
             raise ValueError("rates must be non-negative")
         self.steps = list(steps)
         self.initial = float(initial)
+        self._times = [float(t) for t in times]
+        # Duplicate step times: the last one wins, matching the linear
+        # scan this replaced.
+        self._rates = [float(r) for _t, r in steps]
 
     def rate(self, t: float) -> float:
-        current = self.initial
-        for start, value in self.steps:
-            if t >= start:
-                current = value
-            else:
-                break
-        return current
+        idx = bisect.bisect_right(self._times, t) - 1
+        if idx < 0:
+            return self.initial
+        return self._rates[idx]
 
 
 class RampTrace:
@@ -313,9 +316,11 @@ class ReplayTrace:
         if not samples:
             raise ValueError("need at least one sample")
         times = [s[0] for s in samples]
-        if times != sorted(times):
+        if not all(math.isfinite(t) for t in times):
+            raise ValueError("sample times must be finite")
+        if any(a > b for a, b in zip(times, times[1:])):
             raise ValueError("samples must be sorted by time")
-        if any(r < 0 for _t, r in samples):
+        if any(not math.isfinite(r) or r < 0 for _t, r in samples):
             raise ValueError("rates must be non-negative")
         if time_scale <= 0 or rate_scale < 0:
             raise ValueError("invalid scales")

@@ -192,3 +192,59 @@ class TestReplicasAndPhases:
                 "svc", engine, api, trace=ConstantTrace(1), demands=DEMANDS,
                 initial_allocation=AMPLE, tail_factor=0.5,
             )
+
+
+class TestArrivalDriven:
+    """Open-loop arrival processes wired into the tick path."""
+
+    def _arrivals(self, seed=0, rate=50.0):
+        import numpy as np
+
+        from repro.workloads.arrivals import PoissonArrivals
+
+        return PoissonArrivals(
+            ConstantTrace(rate), np.random.default_rng(seed)
+        )
+
+    def test_offered_tracks_the_event_stream(self, engine, api):
+        svc = deploy(
+            engine, api, trace=ConstantTrace(50.0),
+            arrivals=self._arrivals(rate=50.0),
+        )
+        engine.run_until(300.0)
+        # Offered load is events-per-tick, so it hovers at the rate.
+        assert svc.current_offered == pytest.approx(50.0, rel=0.5)
+        assert svc.total_served > 0
+
+    def test_unmarked_process_keeps_series_set(self, engine, api):
+        svc = deploy(
+            engine, api, trace=ConstantTrace(20.0),
+            arrivals=self._arrivals(rate=20.0),
+        )
+        engine.run_until(60.0)
+        metrics = svc.sample_metrics(engine.now)
+        assert "size_factor" not in metrics
+        assert svc.current_size_factor == 1.0
+
+    def test_marked_process_exports_size_factor(self, engine, api):
+        import numpy as np
+
+        from repro.workloads.arrivals import MarkedArrivals, ParetoSizes
+
+        marked = MarkedArrivals(
+            self._arrivals(rate=30.0),
+            ParetoSizes(alpha=1.6),
+            np.random.default_rng(1),
+        )
+        svc = deploy(
+            engine, api, trace=ConstantTrace(30.0), arrivals=marked,
+        )
+        engine.run_until(120.0)
+        metrics = svc.sample_metrics(engine.now)
+        assert "size_factor" in metrics
+        assert metrics["size_factor"] > 0.0
+
+    def test_rate_fallback_without_arrivals(self, engine, api):
+        svc = deploy(engine, api, trace=ConstantTrace(25.0))
+        engine.run_until(60.0)
+        assert svc.current_offered == pytest.approx(25.0)
